@@ -1,0 +1,158 @@
+"""Ablations of the design choices called out in DESIGN.md §5.
+
+* vertex ordering: degree vs. approx-ψ vs. random (pruning power),
+* label visibility model: completion vs. immediate (bounds),
+* dynamic chunk size: 1 (paper) vs. larger grabs,
+* cluster sync schedule: uniform vs. early at equal sync counts.
+"""
+
+import pytest
+
+from repro.bench.harness import serial_reference
+from repro.cluster.network import NetworkModel
+from repro.cluster.parapll import simulate_cluster
+from repro.core.serial import build_serial
+from repro.generators.paper import load_dataset
+from repro.graph.order import by_approx_betweenness, by_degree, by_random
+from repro.sim.executor import simulate_intra_node
+
+from conftest import bench_scale
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("Gnutella", scale=bench_scale(), seed=42)
+
+
+def test_ablation_vertex_ordering(benchmark, graph):
+    """Degree and ψ orderings prune far better than random."""
+
+    from repro.graph.centrality import by_exact_betweenness
+
+    def run():
+        out = {}
+        for name, order in (
+            ("degree", by_degree(graph)),
+            ("psi-sampled", by_approx_betweenness(graph, samples=24)),
+            ("psi-exact", by_exact_betweenness(graph)),
+            ("random", by_random(graph, seed=0)),
+        ):
+            store, stats = build_serial(graph, order=order)
+            out[name] = (store.total_entries, stats.build_seconds)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, (entries, secs) in out.items():
+        print(f"  ordering={name:12s} entries={entries:7d} IT={secs:6.2f}s")
+    assert out["degree"][0] < out["random"][0]
+    assert out["psi-sampled"][0] < out["random"][0]
+    assert out["psi-exact"][0] < out["random"][0]
+
+
+def test_ablation_visibility_model(benchmark, graph):
+    """Immediate sharing bounds the pruning loss of completion commits."""
+
+    def run():
+        comp, _ = simulate_intra_node(graph, 8, visibility="completion")
+        imm, _ = simulate_intra_node(graph, 8, visibility="immediate")
+        return comp.store.total_entries, imm.store.total_entries
+
+    comp_entries, imm_entries = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n  completion-visibility entries={comp_entries}, "
+        f"immediate={imm_entries}"
+    )
+    assert imm_entries <= comp_entries
+
+
+def test_ablation_dynamic_chunk_size(benchmark, graph):
+    """Bigger grabs reduce queue traffic but degrade the ordering."""
+    _store, _stats, cost = serial_reference(graph)
+
+    def run():
+        out = {}
+        for chunk in (1, 4, 16):
+            index, r = simulate_intra_node(
+                graph, 8, policy="dynamic", chunk=chunk, cost_model=cost,
+                jitter=0.15, worker_jitter=0.25, seed=5,
+            )
+            out[chunk] = (r.makespan, index.store.total_entries)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for chunk, (makespan, entries) in out.items():
+        print(f"  chunk={chunk:3d} IT={makespan:8.3f}s entries={entries}")
+    # All chunk sizes stay within 2x of the paper's chunk=1 makespan.
+    base = out[1][0]
+    for makespan, _e in out.values():
+        assert makespan < 2.0 * base
+
+
+def test_ablation_sync_schedule(benchmark, graph):
+    """At equal sync counts, the early schedule prunes better."""
+    _store, _stats, cost = serial_reference(graph)
+    net = NetworkModel(latency_units=50, per_entry_units=0.05)
+
+    def run():
+        out = {}
+        for schedule in ("uniform", "early"):
+            index, r = simulate_cluster(
+                graph, 4, threads_per_node=4, syncs=4,
+                sync_schedule=schedule, cost_model=cost, network=net,
+            )
+            out[schedule] = (r.makespan, index.store.total_entries)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for schedule, (makespan, entries) in out.items():
+        print(f"  schedule={schedule:8s} IT={makespan:8.3f}s entries={entries}")
+    assert out["early"][1] <= out["uniform"][1]
+
+
+def test_ablation_inter_node_partition(benchmark, graph):
+    """Region partition vs. the paper's round robin at one final sync.
+
+    A BFS-grown region keeps the hubs that cover a node's own roots
+    local, shrinking the isolated-pruning label explosion — a finding
+    of this reproduction (the paper only evaluates round robin).
+    """
+    net = NetworkModel(latency_units=50, per_entry_units=0.05)
+
+    def run():
+        out = {}
+        for part in ("round-robin", "region"):
+            index, _r = simulate_cluster(
+                graph, 4, threads_per_node=4, syncs=1,
+                network=net, inter_node=part,
+            )
+            out[part] = index.store.total_entries
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n  round-robin: {out['round-robin']} entries; "
+        f"region: {out['region']} entries"
+    )
+    assert out["region"] < out["round-robin"]
+
+
+def test_ablation_replicate_top(benchmark, graph):
+    """Replicating the top-K hubs trades duplicate work for pruning."""
+    net = NetworkModel(latency_units=50, per_entry_units=0.05)
+
+    def run():
+        out = {}
+        for k in (0, 16):
+            index, _r = simulate_cluster(
+                graph, 4, threads_per_node=4, syncs=1, replicate_top=k,
+                network=net,
+            )
+            out[k] = index.store.total_entries
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  replicate_top=0: {out[0]} entries; =16: {out[16]} entries")
+    assert out[16] < out[0]

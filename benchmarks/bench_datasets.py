@@ -1,0 +1,20 @@
+"""Table 2: the dataset inventory (paper scale vs. stand-in scale)."""
+
+import pytest
+
+from repro.bench.harness import experiment_datasets
+from repro.bench.tables import format_table2
+
+
+def test_table2_datasets(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: experiment_datasets(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(rows))
+    assert len(rows) == len(config.datasets)
+    for row in rows:
+        # Stand-ins keep the family density: m/n within ~4x of the paper.
+        paper_density = row["paper_m"] / row["paper_n"]
+        ours = row["m"] / row["n"]
+        assert ours == pytest.approx(paper_density, rel=3.0)

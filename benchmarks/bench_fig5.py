@@ -1,0 +1,31 @@
+"""Figure 5: vertex degree distributions of all 11 datasets."""
+
+import numpy as np
+
+from repro.bench.figures import format_fig5
+from repro.bench.harness import experiment_fig5
+from repro.generators.paper import DATASETS
+
+
+def test_fig5_degree_distributions(benchmark, config):
+    hists = benchmark.pedantic(
+        lambda: experiment_fig5(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig5(hists))
+
+    for name, hist in hists.items():
+        family = DATASETS[name].spec.family
+        degrees = np.array(sorted(hist))
+        counts = np.array([hist[d] for d in degrees], dtype=float)
+        mean = (degrees * counts).sum() / counts.sum()
+        dmax = degrees.max()
+        if family == "road":
+            # Road networks: tightly bounded degrees, no tail (Fig 5).
+            assert dmax <= 8
+        elif family == "community":
+            # Collaboration stand-ins: block-structured, moderate spread.
+            assert dmax < 4 * mean
+        else:
+            # Power-law families: a heavy tail well above the mean.
+            assert dmax > 2 * mean

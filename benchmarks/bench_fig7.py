@@ -1,0 +1,36 @@
+"""Figure 7: the synchronisation-frequency sweep on a 6-node cluster.
+
+(a)/(b): indexing time grows and label size shrinks as the sync count c
+increases; (c)/(d): the breakdown shows communication taking over.
+Paper-faithful uniform schedule throughout.
+"""
+
+from collections import defaultdict
+
+from repro.bench.figures import format_fig7
+from repro.bench.harness import experiment_fig7
+
+
+def test_fig7_sync_sweep(benchmark, quick_config):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig7(quick_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig7(rows))
+
+    per_dataset = defaultdict(list)
+    for r in rows:
+        per_dataset[r["dataset"]].append(r)
+
+    for name, series in per_dataset.items():
+        series.sort(key=lambda r: r["syncs"])
+        first, last = series[0], series[-1]
+        # (b) label size decreases monotonically-ish with more syncs.
+        assert last["label_size"] < first["label_size"]
+        # (c)/(d) communication time grows with more syncs...
+        assert last["communication"] > first["communication"]
+        # ...until it dominates the run entirely at c=max.
+        assert last["communication"] / last["seconds"] > 0.3
+        # (a) and the headline conclusion: few syncs are fastest.
+        fastest = min(series, key=lambda r: r["seconds"])
+        assert fastest["syncs"] <= series[len(series) // 2]["syncs"]

@@ -1,0 +1,24 @@
+"""The abstract's headline claims on the largest dataset.
+
+Paper: "9.46 times faster than the corresponding serial version on a
+weighted 0.3M-vertex graph using a 12-core computer" and "a 6-node
+computer cluster can also achieve a speedup of up to 5.6 over the
+single-node implementation".  We assert the direction and a meaningful
+magnitude at reproduction scale.
+"""
+
+from repro.bench.harness import experiment_headline
+from repro.bench.tables import format_headline
+
+
+def test_headline_speedups(benchmark, quick_config):
+    result = benchmark.pedantic(
+        lambda: experiment_headline(quick_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_headline(result))
+    assert result["dataset"] == "Skitter"
+    # 12 virtual threads: a substantial intra-node speedup.
+    assert result["intra_speedup"] > 4.0
+    # 6 simulated nodes: a positive cluster speedup.
+    assert result["cluster_speedup"] > 1.0

@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the hot kernels (real pytest-benchmark timing).
+
+These are the only benchmarks where repeated timed rounds make sense:
+individual root searches, distance queries, and the priority queues
+that the ablation in DESIGN.md §5 compares.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.index import PLLIndex
+from repro.core.labels import LabelStore
+from repro.core.pruned_dijkstra import PrunedDijkstra
+from repro.core.query import query_distance, query_numpy
+from repro.generators.paper import load_dataset
+from repro.graph.order import by_degree
+from repro.pq import PQ_IMPLEMENTATIONS
+
+from conftest import bench_scale
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("Gnutella", scale=bench_scale(), seed=42)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return PLLIndex.build(graph)
+
+
+def test_micro_dijkstra_sssp(benchmark, graph):
+    benchmark(dijkstra_sssp, graph, 0)
+
+
+def test_micro_pruned_dijkstra_first_root(benchmark, graph):
+    engine = PrunedDijkstra(graph, by_degree(graph))
+    store = LabelStore(graph.num_vertices)
+    root = int(engine.order[0])
+    benchmark(engine.run, root, store)
+
+
+def test_micro_pruned_dijkstra_late_root(benchmark, graph, index):
+    """A root search against a fully built label set (heavy pruning)."""
+    engine = PrunedDijkstra(graph, index.order)
+    root = int(index.order[-1])
+    benchmark(engine.run, root, index.store)
+
+
+def test_micro_serial_index_build(benchmark, graph):
+    benchmark.pedantic(
+        lambda: PLLIndex.build(graph), rounds=2, iterations=1
+    )
+
+
+def test_micro_query_merge_join(benchmark, index):
+    rng = random.Random(0)
+    n = index.num_vertices
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(256)]
+
+    def run():
+        total = 0.0
+        for s, t in pairs:
+            d = query_distance(index.store, s, t)
+            if d != float("inf"):
+                total += d
+        return total
+
+    benchmark(run)
+
+
+def test_micro_query_numpy_join(benchmark, index):
+    rng = random.Random(0)
+    n = index.num_vertices
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(256)]
+
+    def run():
+        total = 0.0
+        for s, t in pairs:
+            d = query_numpy(index.store, s, t)
+            if d != float("inf"):
+                total += d
+        return total
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("pq_name", list(PQ_IMPLEMENTATIONS))
+def test_micro_priority_queue_dijkstra(benchmark, graph, pq_name):
+    """The priority-queue ablation: full Dijkstra per implementation."""
+    benchmark(
+        dijkstra_sssp, graph, 0, PQ_IMPLEMENTATIONS[pq_name]
+    )

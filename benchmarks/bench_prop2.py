@@ -1,0 +1,48 @@
+"""Proposition 2: the pruning-efficiency-loss bound vs. measurement.
+
+The paper bounds the static policy's efficiency loss by the ψ gaps
+inside each p-wide dispatch window.  We compute the bound with exact
+Brandes ψ values and compare it with the measured label redundancy of
+simulated runs: both must start at zero for p = 1 and grow with p.
+"""
+
+import pytest
+
+from repro.analysis import efficiency_loss_study
+from repro.generators.paper import load_dataset
+
+from conftest import bench_scale
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Exact betweenness is O(nm); use a modest stand-in.
+    return load_dataset("Gnutella", scale=min(bench_scale(), 0.5), seed=42)
+
+
+def test_prop2_bound_vs_measured(benchmark, graph):
+    report = benchmark.pedantic(
+        lambda: efficiency_loss_study(graph, workers=(1, 2, 4, 8, 12)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        "(bound is in pruning-potential units, growth in label entries —"
+        " correlated, not comparable)"
+    )
+    print(f"{'p':>4} {'Prop-2 bound':>14} {'measured growth':>16}")
+    for p, bound, red in zip(
+        report.workers, report.bounds, report.redundancy
+    ):
+        print(f"{p:>4} {bound:>13.1%} {red:>15.1%}")
+
+    assert report.bounds[0] == 0.0
+    assert report.redundancy[0] == 0.0
+    # The bound is monotone in p.
+    for a, b in zip(report.bounds, report.bounds[1:]):
+        assert b >= a
+    # Measured redundancy grows overall and stays below the worst case
+    # implied by full potential loss.
+    assert report.redundancy[-1] > 0.0
+    assert report.bounds[-1] <= 1.0

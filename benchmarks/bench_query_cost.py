@@ -1,0 +1,79 @@
+"""Query-stage cost vs. label size (the paper's §5.3.2 observation).
+
+Table 5's label sizes grow 2-3x across a 6-node cluster; the paper
+notes this "increases the query cost by several microseconds" but is
+worth it for the indexing speedup.  This bench builds a serial index
+and a cluster index for the same graph and compares (a) the average
+label entries scanned per query and (b) the measured per-query time —
+asserting the cost grows no faster than the label size does.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.parapll import simulate_cluster
+from repro.core.index import PLLIndex
+from repro.generators.paper import load_dataset
+
+from conftest import bench_scale
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("CondMat", scale=bench_scale(), seed=42)
+
+
+@pytest.fixture(scope="module")
+def serial_index(graph):
+    return PLLIndex.build(graph)
+
+
+@pytest.fixture(scope="module")
+def cluster_index(graph):
+    index, _run = simulate_cluster(
+        graph, 6, threads_per_node=2, syncs=1,
+        network=NetworkModel(latency_units=1, per_entry_units=0.0),
+    )
+    return index
+
+
+def _pairs(graph, k=256):
+    rng = random.Random(7)
+    n = graph.num_vertices
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(k)]
+
+
+def test_query_serial_index(benchmark, graph, serial_index):
+    pairs = _pairs(graph)
+    benchmark(lambda: [serial_index.distance(s, t) for s, t in pairs])
+
+
+def test_query_cluster_index(benchmark, graph, cluster_index):
+    pairs = _pairs(graph)
+    benchmark(lambda: [cluster_index.distance(s, t) for s, t in pairs])
+
+
+def test_query_cost_tracks_label_size(benchmark, graph, serial_index,
+                                      cluster_index):
+    """Scanned entries grow with LN, and sub-linearly in practice."""
+
+    def run():
+        pairs = _pairs(graph)
+        scans = {"serial": 0, "cluster": 0}
+        for s, t in pairs:
+            scans["serial"] += serial_index.query(s, t).entries_scanned
+            scans["cluster"] += cluster_index.query(s, t).entries_scanned
+        return scans
+
+    scans = benchmark.pedantic(run, rounds=1, iterations=1)
+    ln_ratio = cluster_index.avg_label_size() / serial_index.avg_label_size()
+    scan_ratio = scans["cluster"] / max(scans["serial"], 1)
+    print(
+        f"\n  LN ratio {ln_ratio:.2f}x -> scan ratio {scan_ratio:.2f}x "
+        f"({scans['serial']} vs {scans['cluster']} entries for 256 queries)"
+    )
+    assert scan_ratio >= 1.0
+    # Merge-join cost is at most linear in the label growth.
+    assert scan_ratio <= 1.5 * ln_ratio

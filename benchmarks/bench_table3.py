@@ -1,0 +1,34 @@
+"""Table 3: intra-node ParaPLL with the STATIC assignment policy.
+
+Regenerates, for every dataset: serial PLL indexing time, the simulated
+1-thread time, speedups at 2-12 threads, and average label size (LN)
+per thread count.  Shape checks assert the paper's qualitative claims.
+"""
+
+from repro.bench.harness import experiment_table34
+from repro.bench.tables import format_speedup_table
+
+
+def test_table3_static_policy(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: experiment_table34(config, "static"), rounds=1, iterations=1
+    )
+    print()
+    print(format_speedup_table(rows, "Table 3: intra-node, STATIC policy"))
+
+    for row in rows:
+        sp = row["speedups"]
+        ln = row["label_sizes"]
+        # 1-thread ParaPLL ~ serial PLL (paper: "almost equals").
+        assert abs(row["seconds"][0] - row["pll_seconds"]) < max(
+            0.15 * row["pll_seconds"], 0.05
+        )
+        # Speedup grows from 1 thread to 12 threads.
+        assert sp[-1] > sp[0]
+        assert sp[-1] > 2.0
+        # Sub-linear: never beats the thread count.
+        for p, s in zip(row["workers"], sp):
+            assert s <= p + 1e-9
+        # Label size grows only modestly with threads (paper §5.2.2).
+        assert ln[-1] >= ln[0]
+        assert ln[-1] <= 2.5 * ln[0]

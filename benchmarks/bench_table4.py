@@ -1,0 +1,43 @@
+"""Table 4: intra-node ParaPLL with the DYNAMIC assignment policy.
+
+Also asserts the paper's §5.4.2 comparison: aggregated over datasets,
+dynamic assignment beats static at high thread counts because the work
+queue absorbs persistent per-worker slowdowns.
+"""
+
+from repro.bench.harness import experiment_table34
+from repro.bench.tables import format_speedup_table
+
+
+def test_table4_dynamic_policy(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: experiment_table34(config, "dynamic"), rounds=1, iterations=1
+    )
+    print()
+    print(format_speedup_table(rows, "Table 4: intra-node, DYNAMIC policy"))
+
+    for row in rows:
+        sp = row["speedups"]
+        assert sp[-1] > 2.0
+        for p, s in zip(row["workers"], sp):
+            assert s <= p + 1e-9
+        assert row["label_sizes"][-1] <= 2.5 * row["label_sizes"][0]
+
+
+def test_dynamic_beats_static_in_aggregate(benchmark, config):
+    static, dynamic = benchmark.pedantic(
+        lambda: (
+            experiment_table34(config, "static"),
+            experiment_table34(config, "dynamic"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    static_final = sum(r["speedups"][-1] for r in static)
+    dynamic_final = sum(r["speedups"][-1] for r in dynamic)
+    print(
+        f"\nmean 12-thread speedup: static "
+        f"{static_final / len(static):.2f} vs dynamic "
+        f"{dynamic_final / len(dynamic):.2f}"
+    )
+    assert dynamic_final > static_final

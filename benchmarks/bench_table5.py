@@ -1,0 +1,38 @@
+"""Table 5: cluster ParaPLL across 1-6 nodes, static and dynamic.
+
+Uses the scale-bridged "early" synchronisation schedule (DESIGN.md §2);
+``python -m repro.bench --experiment table5 --schedule uniform --syncs 1``
+regenerates the paper-faithful configuration, whose compute-side label
+explosion at reproduction scale is analysed in EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import experiment_table5
+from repro.bench.tables import format_table5
+
+
+def test_table5_cluster(benchmark, quick_config):
+    rows = benchmark.pedantic(
+        lambda: experiment_table5(quick_config), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table5(
+            rows,
+            f"Table 5: cluster (p={quick_config.threads_per_node}, "
+            f"c={quick_config.table5_syncs}, "
+            f"schedule={quick_config.table5_schedule})",
+        )
+    )
+
+    speeds_up = 0
+    for row in rows:
+        for policy in ("static", "dynamic"):
+            sp = row[f"{policy}_speedups"]
+            ln = row[f"{policy}_label_sizes"]
+            assert sp[0] == 1.0
+            # Label size grows with cluster size (Table 5's LN columns).
+            assert ln[-1] >= ln[0]
+        if row["dynamic_speedups"][-1] > 1.0:
+            speeds_up += 1
+    # The majority of datasets must show a positive multi-node speedup.
+    assert speeds_up >= len(rows) // 2 + 1

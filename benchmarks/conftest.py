@@ -1,0 +1,56 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at a
+reduced default scale so the whole suite stays tractable on one core
+(set ``REPRO_BENCH_SCALE`` to change it, e.g. ``REPRO_BENCH_SCALE=1.0``)
+and prints the paper-style rendering to stdout.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+For full-scale runs with CSV output use the standalone harness::
+
+    python -m repro.bench --experiment all --out results/
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchConfig
+
+
+def bench_scale() -> float:
+    """Dataset scale for benchmark runs (env-overridable)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    """One shared config so serial references are computed once."""
+    return BenchConfig(
+        scale=bench_scale(),
+        seed=42,
+        workers=(1, 2, 4, 6, 8, 10, 12),
+        nodes=(1, 2, 3, 4, 5, 6),
+        threads_per_node=6,
+        fig7_syncs=(1, 2, 4, 8, 16, 32, 64, 128),
+        fig7_datasets=("Gnutella", "CondMat"),
+        verify_samples=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> BenchConfig:
+    """A smaller sweep for the expensive cluster experiments."""
+    return BenchConfig(
+        scale=bench_scale(),
+        seed=42,
+        workers=(1, 4, 12),
+        nodes=(1, 2, 4, 6),
+        threads_per_node=6,
+        fig7_syncs=(1, 4, 16, 64),
+        fig7_datasets=("Gnutella",),
+        verify_samples=1,
+    )

@@ -1,0 +1,80 @@
+"""Exploring the cluster synchronisation tradeoff (the paper's §4.5).
+
+"If we synchronize more frequently, we may get indexed labels with less
+redundant results ... In contrast, if we synchronize less frequently,
+we may get indexed labels with more redundant results" — and every
+synchronisation stops all nodes and pays O(l·q·log q) communication.
+
+This example sweeps the synchronisation count c on a simulated 6-node
+cluster (uniform schedule, as in Figure 7) and prints the indexing
+time / label size / communication share for each setting, then shows
+the scale-bridged "early" schedule for comparison.
+"""
+
+from repro import load_dataset
+from repro.bench.harness import serial_reference
+from repro.cluster import NetworkModel, simulate_cluster
+
+
+def main() -> None:
+    graph = load_dataset("CondMat", scale=1.0, seed=7)
+    print(f"graph: {graph.name}, n={graph.num_vertices}, m={graph.num_edges}")
+
+    _store, stats, cost = serial_reference(graph)
+    print(
+        f"serial PLL: {stats.build_seconds:.2f}s, LN={stats.avg_label_size:.1f}\n"
+    )
+    network = NetworkModel(latency_units=50, per_entry_units=0.05)
+
+    print("uniform schedule (paper-faithful), 6 nodes x 6 threads:")
+    print(f"{'c':>4} {'IT(s)':>8} {'LN':>6} {'comm %':>7}")
+    for c in (1, 2, 4, 8, 16, 32):
+        index, run = simulate_cluster(
+            graph,
+            6,
+            threads_per_node=6,
+            syncs=c,
+            sync_schedule="uniform",
+            cost_model=cost,
+            network=network,
+            jitter=0.15,
+            worker_jitter=0.25,
+            seed=3,
+        )
+        pct = 100 * run.communication_time / run.makespan
+        print(
+            f"{c:>4} {run.makespan:>8.2f} {index.avg_label_size():>6.1f} "
+            f"{pct:>6.1f}%"
+        )
+
+    print("\nearly (geometric) schedule — front-loads the exchanges:")
+    print(f"{'c':>4} {'IT(s)':>8} {'LN':>6} {'comm %':>7}")
+    for c in (2, 4, 6):
+        index, run = simulate_cluster(
+            graph,
+            6,
+            threads_per_node=6,
+            syncs=c,
+            sync_schedule="early",
+            cost_model=cost,
+            network=network,
+            jitter=0.15,
+            worker_jitter=0.25,
+            seed=3,
+        )
+        pct = 100 * run.communication_time / run.makespan
+        print(
+            f"{c:>4} {run.makespan:>8.2f} {index.avg_label_size():>6.1f} "
+            f"{pct:>6.1f}%"
+        )
+
+    print(
+        "\nTakeaway: with uniform spacing, more syncs shrink the index but"
+        "\ncost communication; front-loading the first sync captures most"
+        "\nof the pruning value (Figure 6: early roots create ~90% of all"
+        "\nlabels) at a fraction of the communication."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: build a PLL distance index and query it.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds the Gnutella stand-in graph, indexes it with serial weighted PLL
+(Algorithm 1 over every root), verifies a few distances against plain
+Dijkstra, then shows how much faster indexed queries are.
+"""
+
+import random
+import time
+
+from repro import PLLIndex, load_dataset
+from repro.baselines import dijkstra_pair
+
+
+def main() -> None:
+    graph = load_dataset("Gnutella", scale=1.0, seed=7)
+    print(f"graph: {graph.name}, n={graph.num_vertices}, m={graph.num_edges}")
+
+    t0 = time.perf_counter()
+    index = PLLIndex.build(graph)
+    print(
+        f"indexed in {time.perf_counter() - t0:.2f}s, "
+        f"average label size LN={index.avg_label_size():.1f}"
+    )
+
+    rng = random.Random(0)
+    pairs = [
+        (rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices))
+        for _ in range(200)
+    ]
+
+    # Correctness spot check against Dijkstra.
+    for s, t in pairs[:10]:
+        assert index.distance(s, t) == dijkstra_pair(graph, s, t)
+    print("distances agree with Dijkstra on 10 random pairs")
+
+    # Indexed queries vs. online Dijkstra.
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        index.distance(s, t)
+    indexed = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for s, t in pairs[:20]:
+        dijkstra_pair(graph, s, t)
+    online = (time.perf_counter() - t0) * (len(pairs) / 20)
+    print(
+        f"{len(pairs)} queries: indexed {indexed * 1e3:.1f}ms, "
+        f"Dijkstra ~{online * 1e3:.0f}ms "
+        f"({online / max(indexed, 1e-9):.0f}x slower)"
+    )
+
+    s, t = pairs[0]
+    result = index.query(s, t)
+    print(
+        f"example: d({s}, {t}) = {result.distance} "
+        f"meeting at hub {result.hub} "
+        f"({result.entries_scanned} label entries scanned)"
+    )
+
+
+if __name__ == "__main__":
+    main()

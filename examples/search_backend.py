@@ -1,0 +1,65 @@
+"""A distance microservice: the paper's search-backend deployment.
+
+Runs the full serving stack end to end: build an index over a social
+graph, wrap it in a cached :class:`~repro.service.oracle.DistanceOracle`,
+expose it over TCP with :class:`~repro.service.server.DistanceServer`,
+and hit it with a client the way a context-aware search frontend would
+(distance filters, kNN suggestions, path explanations).
+"""
+
+import random
+import time
+
+from repro import PLLIndex
+from repro.generators import barabasi_albert
+from repro.service import DistanceClient, DistanceOracle, DistanceServer
+
+
+def main() -> None:
+    graph = barabasi_albert(600, 4, seed=13)
+    print(f"user graph: n={graph.num_vertices}, m={graph.num_edges}")
+    index = PLLIndex.build(graph)
+    oracle = DistanceOracle(index, cache_size=1024, build_knn=True)
+
+    with DistanceServer(oracle) as server:
+        print(f"serving on 127.0.0.1:{server.port}")
+        with DistanceClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+
+            user = 37
+            # "People you may know": nearest non-neighbours.
+            friends = set(graph.neighbors(user).tolist())
+            suggestions = [
+                (v, d)
+                for v, d in client.k_nearest(user, 15)
+                if v not in friends
+            ][:5]
+            print(f"\nsuggestions for user {user}:")
+            for v, d in suggestions:
+                print(f"  user {v:4d} at distance {d:.0f}")
+
+            # Batch relevance scoring for a page of search results.
+            rng = random.Random(2)
+            authors = [rng.randrange(graph.num_vertices) for _ in range(10)]
+            t0 = time.perf_counter()
+            scores = client.batch([(user, a) for a in authors])
+            dt = (time.perf_counter() - t0) * 1e3
+            ranked = sorted(zip(scores, authors))
+            print(f"\nsearch page reranked in {dt:.1f}ms:")
+            for d, a in ranked[:5]:
+                print(f"  author {a:4d} closeness {d:.0f}")
+
+            # Explain one connection with an actual path.
+            target = ranked[0][1]
+            path = client.shortest_path(user, target)
+            print(f"\nconnection {user} -> {target}: {' -> '.join(map(str, path))}")
+
+            stats = client.stats()
+            print(
+                f"\nserver stats: {stats['queries']} point queries, "
+                f"hit rate {stats['hit_rate']:.0%}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` on offline
+machines whose setuptools cannot build PEP-517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

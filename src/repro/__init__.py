@@ -1,0 +1,50 @@
+"""ParaPLL reproduction: parallel pruned-landmark-labeling distance queries.
+
+Reproduction of *ParaPLL: Fast Parallel Shortest-path Distance Query on
+Large-scale Weighted Graphs* (Qiu et al., ICPP 2018).
+
+Quickstart::
+
+    from repro import PLLIndex, load_dataset
+
+    graph = load_dataset("Gnutella", scale=0.5)
+    index = PLLIndex.build(graph)
+    print(index.distance(0, 42))
+
+Subpackages:
+
+* :mod:`repro.graph` — CSR graphs, builders, orderings.
+* :mod:`repro.generators` — seeded synthetic graphs (Table-2 stand-ins).
+* :mod:`repro.io` — edge-list / DIMACS readers and writers.
+* :mod:`repro.pq` — priority queues.
+* :mod:`repro.baselines` — Dijkstra / bidirectional / BFS / APSP.
+* :mod:`repro.core` — PLL labels, queries, pruned Dijkstra, serial build.
+* :mod:`repro.parallel` — intra-node ParaPLL (task manager + threads).
+* :mod:`repro.cluster` — inter-node ParaPLL over a simulated MPI.
+* :mod:`repro.sim` — discrete-event parallel-execution simulator.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from repro.core.dynamic import DynamicPLL
+from repro.core.index import PLLIndex
+from repro.core.knn import KNNIndex
+from repro.generators.paper import dataset_names, load_dataset
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.parallel.threads import build_parallel_threads
+from repro.sim.executor import simulate_intra_node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PLLIndex",
+    "DynamicPLL",
+    "KNNIndex",
+    "CSRGraph",
+    "GraphBuilder",
+    "build_parallel_threads",
+    "simulate_intra_node",
+    "load_dataset",
+    "dataset_names",
+    "__version__",
+]

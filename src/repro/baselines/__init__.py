@@ -1,0 +1,32 @@
+"""Baseline shortest-path algorithms the paper compares against.
+
+* :func:`~repro.baselines.dijkstra.dijkstra_sssp` /
+  :func:`~repro.baselines.dijkstra.dijkstra_pair` — the "no index"
+  baseline (query cost O((n + m) log n)).
+* :func:`~repro.baselines.bidirectional.bidirectional_dijkstra` — the
+  stronger online point-to-point baseline.
+* :func:`~repro.baselines.bfs.bfs_distances` — unweighted special case.
+* :mod:`repro.baselines.apsp` — the naive two-stage baseline from the
+  paper's introduction: precompute the full O(n^2) distance table
+  (O(n m log n) indexing), answer queries by table lookup.
+
+These also serve as ground truth for every correctness test of PLL and
+ParaPLL.
+"""
+
+from repro.baselines.apsp import APSPIndex, floyd_warshall
+from repro.baselines.bfs import bfs_distances, bfs_pair
+from repro.baselines.bidirectional import bidirectional_dijkstra
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.dijkstra import dijkstra_pair, dijkstra_sssp
+
+__all__ = [
+    "dijkstra_sssp",
+    "dijkstra_pair",
+    "bidirectional_dijkstra",
+    "bfs_distances",
+    "bfs_pair",
+    "floyd_warshall",
+    "APSPIndex",
+    "ContractionHierarchy",
+]

@@ -1,0 +1,108 @@
+"""Naive two-stage baseline: precompute the full distance table.
+
+The paper's introduction motivates PLL against exactly this strawman:
+index every pair (O(n m log n) by repeated Dijkstra, or O(n^3) by
+Floyd–Warshall) and answer queries with one table lookup.  We implement
+both builders; :class:`APSPIndex` exposes the same build/query surface
+as :class:`~repro.core.index.PLLIndex` so benchmarks can swap them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.errors import NotIndexedError
+from repro.graph.csr import CSRGraph
+from repro.types import IndexStats
+
+__all__ = ["floyd_warshall", "APSPIndex"]
+
+
+def floyd_warshall(graph: CSRGraph) -> np.ndarray:
+    """The O(n^3) all-pairs table, vectorised one pivot row at a time.
+
+    Only sensible for small graphs (n up to a few thousand); used as a
+    second, independently-implemented ground truth in tests.
+
+    Returns:
+        ``float64`` matrix ``D`` with ``D[u, v]`` the distance (``inf``
+        when unreachable, 0 on the diagonal).
+    """
+    n = graph.num_vertices
+    dist = np.full((n, n), np.inf, dtype=np.float64)
+    np.fill_diagonal(dist, 0.0)
+    for u, v, w in graph.edges():
+        if w < dist[u, v]:
+            dist[u, v] = w
+            dist[v, u] = w
+    for k in range(n):
+        # dist = min(dist, dist[:, k, None] + dist[None, k, :]) in place.
+        via_k = dist[:, k, None] + dist[None, k, :]
+        np.minimum(dist, via_k, out=dist)
+    return dist
+
+
+class APSPIndex:
+    """Full distance-table index: slow to build, O(1) to query.
+
+    Args:
+        graph: the graph to index.
+        method: ``"dijkstra"`` (n single-source runs; default) or
+            ``"floyd-warshall"``.
+    """
+
+    def __init__(self, graph: CSRGraph, method: str = "dijkstra") -> None:
+        if method not in ("dijkstra", "floyd-warshall"):
+            raise ValueError(f"unknown APSP method {method!r}")
+        self.graph = graph
+        self.method = method
+        self._table: np.ndarray | None = None
+        self._stats: IndexStats | None = None
+
+    def build(self) -> IndexStats:
+        """Compute the full table; returns build statistics."""
+        t0 = time.perf_counter()
+        n = self.graph.num_vertices
+        if self.method == "floyd-warshall":
+            self._table = floyd_warshall(self.graph)
+        else:
+            table = np.full((n, n), np.inf, dtype=np.float64)
+            for s in range(n):
+                table[s, :] = dijkstra_sssp(self.graph, s)
+            self._table = table
+        elapsed = time.perf_counter() - t0
+        # Each vertex's "label" is its full table row: n entries.
+        self._stats = IndexStats(
+            n=n,
+            total_entries=n * n,
+            avg_label_size=float(n),
+            max_label_size=n,
+            build_seconds=elapsed,
+        )
+        return self._stats
+
+    @property
+    def stats(self) -> IndexStats:
+        """Statistics of the last build."""
+        if self._stats is None:
+            raise NotIndexedError("APSPIndex.build() has not been called")
+        return self._stats
+
+    def query(self, s: int, t: int) -> float:
+        """Distance between *s* and *t* by table lookup."""
+        if self._table is None:
+            raise NotIndexedError("APSPIndex.build() has not been called")
+        self.graph._check_vertex(s)
+        self.graph._check_vertex(t)
+        return float(self._table[s, t])
+
+    def distance_matrix(self) -> np.ndarray:
+        """The full table (read-only view)."""
+        if self._table is None:
+            raise NotIndexedError("APSPIndex.build() has not been called")
+        view = self._table.view()
+        view.setflags(write=False)
+        return view

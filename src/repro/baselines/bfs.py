@@ -1,0 +1,61 @@
+"""Breadth-first search for the unit-weight special case.
+
+The original PLL paper targets unweighted graphs and uses pruned BFS;
+ParaPLL generalises to weights via pruned Dijkstra.  We keep BFS as the
+unweighted ground truth so tests can cross-check that the weighted
+machinery specialises correctly when all weights are 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.graph.csr import CSRGraph
+from repro.types import INF
+
+__all__ = ["bfs_distances", "bfs_pair"]
+
+
+def bfs_distances(graph: CSRGraph, source: int) -> List[float]:
+    """Hop distances from *source*, as floats to match the weighted API.
+
+    Edge weights are ignored; every edge counts 1.
+    """
+    graph._check_vertex(source)
+    n = graph.num_vertices
+    adj = graph.adjacency_lists()
+    dist: List[float] = [INF] * n
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u] + 1.0
+        for v, _w in adj[u]:
+            if dist[v] == INF:
+                dist[v] = du
+                queue.append(v)
+    return dist
+
+
+def bfs_pair(graph: CSRGraph, source: int, target: int) -> float:
+    """Hop distance between two vertices with early exit."""
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    adj = graph.adjacency_lists()
+    dist: List[float] = [INF] * n
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u] + 1.0
+        for v, _w in adj[u]:
+            if dist[v] == INF:
+                if v == target:
+                    return du
+                dist[v] = du
+                queue.append(v)
+    return INF

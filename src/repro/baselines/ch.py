@@ -1,0 +1,240 @@
+"""Contraction Hierarchies: the route-planning two-stage baseline.
+
+The paper's related work contrasts PLL with road-network indexing
+techniques; Contraction Hierarchies (Geisberger et al. 2008) is the
+canonical one.  Preprocessing contracts vertices in importance order,
+inserting *shortcuts* that preserve distances among the remaining
+vertices; queries run a bidirectional Dijkstra that only relaxes edges
+toward *higher* contraction rank, meeting at the top of the hierarchy.
+
+Implementation notes:
+
+* Importance = edge difference (shortcuts needed − incident edges) +
+  number of already-contracted neighbours ("deleted neighbours"
+  heuristic), maintained lazily in a priority queue.
+* Witness searches (does a shortcut-free path already beat the would-be
+  shortcut?) are Dijkstras from each uncontracted neighbour, limited to
+  ``witness_settle_limit`` settled vertices.  A truncated witness
+  search can only *add unnecessary shortcuts* — every shortcut encodes
+  a real path, so queries stay exact regardless of the limit.
+* The same class doubles as the "CH" competitor in the index-family
+  benchmark (index time / size / query time vs. PLL and the full APSP
+  table).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NotIndexedError
+from repro.graph.csr import CSRGraph
+from repro.types import INF, IndexStats
+
+__all__ = ["ContractionHierarchy"]
+
+
+class ContractionHierarchy:
+    """A CH index over an undirected weighted graph.
+
+    Args:
+        graph: the graph to index.
+        witness_settle_limit: cap on settled vertices per witness
+            search (larger = fewer shortcuts, slower preprocessing).
+    """
+
+    def __init__(
+        self, graph: CSRGraph, witness_settle_limit: int = 64
+    ) -> None:
+        if witness_settle_limit < 1:
+            raise ValueError("witness_settle_limit must be >= 1")
+        self.graph = graph
+        self.witness_settle_limit = witness_settle_limit
+        self.rank: Optional[List[int]] = None
+        self._up: Optional[List[List[Tuple[int, float]]]] = None
+        self._stats: Optional[IndexStats] = None
+        self.num_shortcuts = 0
+
+    # ------------------------------------------------------------------
+    # Preprocessing
+    # ------------------------------------------------------------------
+    def build(self) -> IndexStats:
+        """Contract all vertices; returns build statistics."""
+        t0 = time.perf_counter()
+        n = self.graph.num_vertices
+        # All edges of the hierarchy: originals plus shortcuts found
+        # during contraction (reset on rebuild).
+        self._all_edges: List[Tuple[int, int, float]] = [
+            (u, v, w) for u, v, w in self.graph.edges()
+        ]
+        # Working adjacency: dict per vertex (neighbour -> weight) over
+        # the *remaining* (uncontracted) graph, mutated by contraction.
+        work: List[Dict[int, float]] = [dict() for _ in range(n)]
+        for u, v, w in self.graph.edges():
+            if w < work[u].get(v, INF):
+                work[u][v] = w
+                work[v][u] = w
+        contracted = [False] * n
+        deleted_neighbors = [0] * n
+        rank = [0] * n
+
+        def importance(v: int) -> float:
+            shortcuts = self._count_shortcuts(v, work, contracted)
+            return (
+                shortcuts
+                - len(work[v])
+                + deleted_neighbors[v]
+            )
+
+        pq: List[Tuple[float, int]] = [
+            (importance(v), v) for v in range(n)
+        ]
+        heapq.heapify(pq)
+        next_rank = 0
+        self.num_shortcuts = 0
+        while pq:
+            _prio, v = heapq.heappop(pq)
+            if contracted[v]:
+                continue
+            # Lazy update: re-evaluate; if no longer minimal, requeue.
+            prio = importance(v)
+            if pq and prio > pq[0][0]:
+                heapq.heappush(pq, (prio, v))
+                continue
+            # Contract v: add witnesses-failing shortcuts between its
+            # remaining neighbours, then remove it.
+            self._contract(v, work, contracted)
+            contracted[v] = True
+            rank[v] = next_rank
+            next_rank += 1
+            for u in work[v]:
+                deleted_neighbors[u] += 1
+
+        # Build the upward search graph: original edges + shortcuts,
+        # kept only toward higher rank.
+        up: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for u, v, w in self._all_edges:
+            if rank[v] > rank[u]:
+                up[u].append((v, w))
+            else:
+                up[v].append((u, w))
+        self.rank = rank
+        self._up = up
+        elapsed = time.perf_counter() - t0
+        sizes = [len(lst) for lst in up]
+        self._stats = IndexStats.from_sizes(sizes, elapsed)
+        return self._stats
+
+    def _count_shortcuts(
+        self,
+        v: int,
+        work: List[Dict[int, float]],
+        contracted: List[bool],
+    ) -> int:
+        """Shortcuts contraction of *v* would need (for importance)."""
+        nbrs = [u for u in work[v] if not contracted[u]]
+        count = 0
+        for i, u in enumerate(nbrs):
+            for w_ in nbrs[i + 1 :]:
+                via = work[v][u] + work[v][w_]
+                if not self._has_witness(u, w_, v, via, work, contracted):
+                    count += 1
+        return count
+
+    def _contract(
+        self,
+        v: int,
+        work: List[Dict[int, float]],
+        contracted: List[bool],
+    ) -> None:
+        nbrs = [u for u in work[v] if not contracted[u]]
+        for i, u in enumerate(nbrs):
+            for w_ in nbrs[i + 1 :]:
+                via = work[v][u] + work[v][w_]
+                if self._has_witness(u, w_, v, via, work, contracted):
+                    continue
+                if via < work[u].get(w_, INF):
+                    work[u][w_] = via
+                    work[w_][u] = via
+                    self._all_edges.append((u, w_, via))
+                    self.num_shortcuts += 1
+        for u in nbrs:
+            work[u].pop(v, None)
+
+    def _has_witness(
+        self,
+        source: int,
+        target: int,
+        excluded: int,
+        limit_dist: float,
+        work: List[Dict[int, float]],
+        contracted: List[bool],
+    ) -> bool:
+        """Limited Dijkstra: path source->target avoiding *excluded*
+        with length <= limit_dist?"""
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        settled = 0
+        while heap and settled < self.witness_settle_limit:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            if u == target:
+                return d <= limit_dist
+            if d > limit_dist:
+                return False
+            settled += 1
+            for x, w in work[u].items():
+                if x == excluded or contracted[x]:
+                    continue
+                nd = d + w
+                if nd < dist.get(x, INF) and nd <= limit_dist:
+                    dist[x] = nd
+                    heapq.heappush(heap, (nd, x))
+        return dist.get(target, INF) <= limit_dist
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Exact distance via upward bidirectional Dijkstra.
+
+        Raises:
+            NotIndexedError: before :meth:`build`.
+        """
+        if self._up is None:
+            raise NotIndexedError("ContractionHierarchy.build() first")
+        self.graph._check_vertex(s)
+        self.graph._check_vertex(t)
+        if s == t:
+            return 0.0
+        up = self._up
+        dist_f: Dict[int, float] = {s: 0.0}
+        dist_b: Dict[int, float] = {t: 0.0}
+        # Two complete upward sweeps, then meet at the common vertices
+        # (the simple two-pass CH query; upward cones are small).
+        for dist, source in ((dist_f, s), (dist_b, t)):
+            heap = [(0.0, source)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist.get(u, INF):
+                    continue
+                for v, w in up[u]:
+                    nd = d + w
+                    if nd < dist.get(v, INF):
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+        best = INF
+        for u, df in dist_f.items():
+            db = dist_b.get(u)
+            if db is not None and df + db < best:
+                best = df + db
+        return best
+
+    @property
+    def stats(self) -> IndexStats:
+        """Build statistics (upward-edge counts as 'label sizes')."""
+        if self._stats is None:
+            raise NotIndexedError("ContractionHierarchy.build() first")
+        return self._stats

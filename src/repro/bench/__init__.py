@@ -1,0 +1,36 @@
+"""The experiment harness behind ``benchmarks/``.
+
+One function per paper table/figure, all driven by a single
+:class:`~repro.bench.harness.BenchConfig`.  Each experiment returns a
+plain data object that the formatters in :mod:`repro.bench.tables` and
+:mod:`repro.bench.figures` render as paper-style ASCII tables / series
+and as CSV.  ``python -m repro.bench`` is the command-line front end.
+"""
+
+from repro.bench.harness import (
+    BenchConfig,
+    experiment_datasets,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_headline,
+    experiment_table34,
+    experiment_table5,
+    serial_reference,
+)
+from repro.bench.tables import format_speedup_table, format_table2, write_csv
+
+__all__ = [
+    "BenchConfig",
+    "serial_reference",
+    "experiment_datasets",
+    "experiment_table34",
+    "experiment_table5",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_headline",
+    "format_speedup_table",
+    "format_table2",
+    "write_csv",
+]

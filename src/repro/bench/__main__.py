@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` dispatches to :func:`repro.bench.runner.main`."""
+
+from repro.bench.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""ASCII renderers for the figure-style experiments (Figures 5-7).
+
+The harness is a terminal program on a headless box, so "figures" are
+rendered as compact ASCII plots plus CSV series a user can feed to a
+real plotting tool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "ascii_loglog_histogram",
+    "ascii_cdf",
+    "format_fig5",
+    "format_fig6",
+    "format_fig7",
+]
+
+
+def ascii_loglog_histogram(
+    hist: Dict[int, int], width: int = 48, height: int = 10
+) -> str:
+    """Render a degree histogram as a log–log ASCII scatter (Figure 5)."""
+    points = [(d, c) for d, c in sorted(hist.items()) if d > 0 and c > 0]
+    if not points:
+        return "(empty histogram)"
+    xs = [math.log10(d) for d, _ in points]
+    ys = [math.log10(c) for _, c in points]
+    x_lo, x_hi = min(xs), max(xs) or 1e-9
+    y_lo, y_hi = min(ys), max(ys) or 1e-9
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"degree: {10 ** x_lo:.0f} .. {10 ** x_hi:.0f} (log x)  "
+                 f"count: {10 ** y_lo:.0f} .. {10 ** y_hi:.0f} (log y)")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    curves: Dict[str, Sequence[float]], width: int = 56, height: int = 12
+) -> str:
+    """Render cumulative curves on shared axes (Figure 6)."""
+    if not curves:
+        return "(no curves)"
+    marks = "ox+#@"
+    grid = [[" "] * width for _ in range(height)]
+    max_len = max(len(c) for c in curves.values()) or 1
+    legend = []
+    for (name, curve), mark in zip(curves.items(), marks):
+        legend.append(f"  {mark} = {name}")
+        for i, y in enumerate(curve):
+            col = int(i / max(1, max_len - 1) * (width - 1))
+            row = int(min(max(y, 0.0), 1.0) * (height - 1))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = mark if cell == " " else "#"
+    lines = ["1.0 |" + "".join(r) for r in grid[:1]]
+    lines += ["    |" + "".join(r) for r in grid[1:-1]]
+    lines += ["0.0 +" + "".join(grid[-1])]
+    lines.append(f"     x: pruned-Dijkstra invocation 1 .. {max_len}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def format_fig5(histograms: Dict[str, Dict[int, int]]) -> str:
+    """Render Figure 5: one log–log degree panel per dataset."""
+    blocks: List[str] = ["Figure 5: vertex degree distributions (log-log)"]
+    for name, hist in histograms.items():
+        blocks.append(f"\n[{name}]")
+        blocks.append(ascii_loglog_histogram(hist))
+    return "\n".join(blocks)
+
+
+def format_fig6(curves: Dict[str, Sequence[float]], dataset: str) -> str:
+    """Render Figure 6: cumulative label-creation CDF."""
+    head = (
+        f"Figure 6: cumulative fraction of label entries created by the "
+        f"x-th pruned Dijkstra ({dataset})"
+    )
+    stats = []
+    for name, curve in curves.items():
+        k90 = next(
+            (i + 1 for i, y in enumerate(curve) if y >= 0.9), len(curve)
+        )
+        stats.append(f"  {name}: 90% of labels after {k90} invocations")
+    return "\n".join([head, ascii_cdf(curves), *stats])
+
+
+def format_fig7(rows: List[Dict]) -> str:
+    """Render Figure 7: sync-count sweep with comm/comp breakdown."""
+    lines = [
+        "Figure 7: synchronisation frequency sweep (uniform schedule, "
+        "6-node cluster)",
+        f"{'dataset':<12} {'c':>4} {'IT(s)':>10} {'LN':>7} "
+        f"{'comp(s)':>10} {'comm(s)':>10} {'comm%':>6}",
+        "-" * 64,
+    ]
+    for r in rows:
+        pct = 100.0 * r["communication"] / r["seconds"] if r["seconds"] else 0
+        lines.append(
+            f"{r['dataset']:<12} {r['syncs']:>4} {r['seconds']:>10.2f} "
+            f"{r['label_size']:>7.1f} {r['computation']:>10.2f} "
+            f"{r['communication']:>10.2f} {pct:>5.1f}%"
+        )
+    return "\n".join(lines)

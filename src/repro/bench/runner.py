@@ -1,0 +1,186 @@
+"""Command-line front end: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench --experiment table4 --scale 0.5
+    python -m repro.bench --experiment all --out results/
+    python -m repro.bench --experiment fig7 --datasets Gnutella CondMat
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.figures import format_fig5, format_fig6, format_fig7
+from repro.bench.harness import (
+    BenchConfig,
+    experiment_datasets,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_headline,
+    experiment_table34,
+    experiment_table5,
+)
+from repro.bench.tables import (
+    format_headline,
+    format_speedup_table,
+    format_table2,
+    format_table5,
+    write_csv,
+)
+from repro.errors import BenchmarkError
+from repro.generators.paper import dataset_names
+
+__all__ = ["main"]
+
+EXPERIMENTS = (
+    "datasets",
+    "fig5",
+    "table3",
+    "table4",
+    "table5",
+    "fig6",
+    "fig7",
+    "headline",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the ParaPLL paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale multiplier (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"subset of datasets (default: all of {dataset_names()})",
+    )
+    parser.add_argument(
+        "--schedule",
+        default="early",
+        choices=("early", "uniform"),
+        help="Table-5 sync schedule (early = scale-bridged, "
+        "uniform = paper-faithful)",
+    )
+    parser.add_argument(
+        "--syncs",
+        type=int,
+        default=4,
+        help="Table-5 synchronisation count (default 4)",
+    )
+    parser.add_argument(
+        "--partition",
+        default="round-robin",
+        choices=("round-robin", "region"),
+        help="Table-5 inter-node split (round-robin = paper)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write CSV result files into DIR",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str, config: BenchConfig, out_dir: Optional[str]
+) -> str:
+    """Run one experiment, returning its rendered text (CSV side effect)."""
+    t0 = time.perf_counter()
+    if name == "datasets":
+        rows = experiment_datasets(config)
+        text = format_table2(rows)
+    elif name == "fig5":
+        hists = experiment_fig5(config)
+        text = format_fig5(hists)
+        rows = [
+            {"dataset": d, "degree": deg, "count": c}
+            for d, h in hists.items()
+            for deg, c in sorted(h.items())
+        ]
+    elif name == "table3":
+        rows = experiment_table34(config, "static")
+        text = format_speedup_table(
+            rows, "Table 3: ParaPLL intra-node, STATIC assignment"
+        )
+    elif name == "table4":
+        rows = experiment_table34(config, "dynamic")
+        text = format_speedup_table(
+            rows, "Table 4: ParaPLL intra-node, DYNAMIC assignment"
+        )
+    elif name == "table5":
+        rows = experiment_table5(config)
+        text = format_table5(
+            rows,
+            f"Table 5: ParaPLL cluster (p={config.threads_per_node}, "
+            f"c={config.table5_syncs}, schedule={config.table5_schedule})",
+        )
+    elif name == "fig6":
+        curves = experiment_fig6(config)
+        text = format_fig6(curves, config.datasets[0])
+        rows = [
+            {"curve": k, "x": i + 1, "y": y}
+            for k, c in curves.items()
+            for i, y in enumerate(c)
+        ]
+    elif name == "fig7":
+        rows = experiment_fig7(config)
+        text = format_fig7(rows)
+    elif name == "headline":
+        result = experiment_headline(config)
+        text = format_headline(result)
+        rows = [result]
+    else:
+        raise BenchmarkError(f"unknown experiment {name!r}")
+    elapsed = time.perf_counter() - t0
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        write_csv(rows, os.path.join(out_dir, f"{name}.csv"))
+    return f"{text}\n[{name} finished in {elapsed:.1f}s]\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    config = BenchConfig(
+        scale=args.scale,
+        seed=args.seed,
+        table5_schedule=args.schedule,
+        table5_syncs=args.syncs,
+        table5_partition=args.partition,
+    )
+    if args.datasets:
+        unknown = set(args.datasets) - set(dataset_names())
+        if unknown:
+            print(f"unknown datasets: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        config.datasets = args.datasets
+    todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in todo:
+        print(run_experiment(name, config, args.out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""ASCII renderers and CSV writers for the experiment results.
+
+The formats mirror the paper's tables: IT (indexing time, seconds),
+SP (speedup over the first column's configuration), LN (average label
+entries per vertex).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Sequence, Union
+
+__all__ = [
+    "format_table2",
+    "format_speedup_table",
+    "format_table5",
+    "format_headline",
+    "write_csv",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def format_table2(rows: List[Dict]) -> str:
+    """Render the dataset inventory (our Table 2)."""
+    lines = [
+        f"{'Dataset':<12} {'paper n':>9} {'paper m':>10} "
+        f"{'n':>7} {'m':>9}  {'Graph Type':<20}",
+        "-" * 72,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['dataset']:<12} {r['paper_n']:>9,} {r['paper_m']:>10,} "
+            f"{r['n']:>7,} {r['m']:>9,}  {r['type']:<20}"
+        )
+    return "\n".join(lines)
+
+
+def format_speedup_table(rows: List[Dict], title: str) -> str:
+    """Render a Table-3/4-style block: PLL IT, per-p SP, per-p LN."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    workers = rows[0]["workers"]
+    head = (
+        f"{'Dataset':<12} {'PLL IT(s)':>10} {'IT1(s)':>8} "
+        + " ".join(f"SP@{p:<2}" for p in workers[1:])
+        + "  "
+        + " ".join(f"LN@{p:<2}" for p in workers)
+    )
+    lines = [title, head, "-" * len(head)]
+    for r in rows:
+        sp = " ".join(f"{s:5.2f}" for s in r["speedups"][1:])
+        ln = " ".join(f"{v:5.0f}" for v in r["label_sizes"])
+        lines.append(
+            f"{r['dataset']:<12} {r['pll_seconds']:>10.2f} "
+            f"{r['seconds'][0]:>8.2f} {sp}  {ln}"
+        )
+    return "\n".join(lines)
+
+
+def format_table5(rows: List[Dict], title: str) -> str:
+    """Render the cluster table: static/dynamic SP per q, LN per q."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    nodes = rows[0]["nodes"]
+    head = (
+        f"{'Dataset':<12} {'IT1(s)':>8} "
+        + " ".join(f"sSP@{q}" for q in nodes[1:])
+        + "  "
+        + " ".join(f"dSP@{q}" for q in nodes[1:])
+        + "  "
+        + " ".join(f"LN@{q}" for q in nodes)
+    )
+    lines = [title, head, "-" * len(head)]
+    for r in rows:
+        ssp = " ".join(f"{s:5.2f}" for s in r["static_speedups"][1:])
+        dsp = " ".join(f"{s:5.2f}" for s in r["dynamic_speedups"][1:])
+        ln = " ".join(f"{v:4.0f}" for v in r["dynamic_label_sizes"])
+        lines.append(
+            f"{r['dataset']:<12} {r['dynamic_seconds'][0]:>8.2f} {ssp}  {dsp}  {ln}"
+        )
+    return "\n".join(lines)
+
+
+def format_headline(result: Dict) -> str:
+    """Render the abstract-style summary sentence."""
+    return (
+        f"{result['dataset']}: serial PLL {result['serial_seconds']:.2f}s; "
+        f"ParaPLL x{result['intra_speedup']:.2f} at {result['threads']} threads; "
+        f"cluster x{result['cluster_speedup']:.2f} at "
+        f"{result['cluster_nodes']} nodes"
+    )
+
+
+def write_csv(rows: Sequence[Dict], path: PathLike) -> None:
+    """Write a list of flat dicts as CSV (list values are ;-joined)."""
+    if not rows:
+        return
+    flat_rows = []
+    for r in rows:
+        flat = {}
+        for k, v in r.items():
+            if isinstance(v, (list, tuple)):
+                flat[k] = ";".join(str(x) for x in v)
+            else:
+                flat[k] = v
+        flat_rows.append(flat)
+    fieldnames = list(flat_rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(flat_rows)

@@ -1,0 +1,183 @@
+"""The ``parapll`` command-line tool.
+
+Subcommands::
+
+    parapll generate --dataset Gnutella --out g.npz        # make a graph
+    parapll index    --graph g.npz --out g.index.npz       # build labels
+    parapll index    --graph g.npz --threads 8 --policy dynamic
+    parapll query    --graph g.npz --index g.index.npz 3 42
+    parapll stats    --index g.index.npz                   # label stats
+    parapll bench    --experiment table4                   # = repro.bench
+
+Graphs are accepted as ``.npz`` (our binary cache), ``.gr`` (DIMACS) or
+anything else (treated as a SNAP edge list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.index import PLLIndex
+from repro.core.stats import label_size_summary
+from repro.errors import ReproError
+from repro.generators.paper import dataset_names, load_dataset
+from repro.graph.csr import CSRGraph
+from repro.io.dimacs import read_dimacs
+from repro.io.edgelist import read_edgelist
+from repro.io.npz import load_graph_npz, save_graph_npz
+from repro.parallel.threads import build_parallel_threads
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str) -> CSRGraph:
+    """Load a graph by file extension (.npz / .gr / edge list)."""
+    if path.endswith(".npz"):
+        return load_graph_npz(path)
+    if path.endswith(".gr"):
+        return read_dimacs(path)
+    graph, _ids = read_edgelist(path)
+    return graph
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_graph_npz(graph, args.out)
+    print(
+        f"wrote {args.out}: {graph.name} n={graph.num_vertices} "
+        f"m={graph.num_edges}"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if args.threads > 1:
+        index = build_parallel_threads(
+            graph, args.threads, policy=args.policy, engine=args.engine
+        )
+    elif args.engine == "bfs":
+        from repro.core.pruned_bfs import build_serial_bfs
+        from repro.graph.order import by_degree
+
+        order = by_degree(graph)
+        store, stats = build_serial_bfs(graph, order=order)
+        index = PLLIndex(store, order, graph=graph, stats=stats)
+    else:
+        index = PLLIndex.build(graph)
+    out = args.out or (args.graph.rsplit(".", 1)[0] + ".index.npz")
+    index.save(out)
+    stats = index.stats
+    secs = f"{stats.build_seconds:.2f}s" if stats else "?"
+    print(
+        f"indexed {graph.name}: n={graph.num_vertices} in {secs}, "
+        f"LN={index.avg_label_size():.1f}, saved to {out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph) if args.graph else None
+    index = PLLIndex.load(args.index, graph=graph)
+    result = index.query(args.source, args.target)
+    if result.reachable:
+        via = f" via hub {result.hub}" if result.hub is not None else ""
+        print(f"distance({args.source}, {args.target}) = {result.distance}{via}")
+    else:
+        print(f"distance({args.source}, {args.target}) = unreachable")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = PLLIndex.load(args.index)
+    sizes = index.store.label_sizes()
+    summary = label_size_summary(sizes)
+    print(f"vertices:      {index.num_vertices}")
+    print(f"total entries: {index.store.total_entries}")
+    for key, value in summary.items():
+        print(f"label size {key}: {value:.1f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Reached only via "parapll bench" with no extra arguments (the
+    # passthrough in main() handles the argument-forwarding case).
+    from repro.bench.runner import main as bench_main
+
+    return bench_main([])
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="parapll",
+        description="ParaPLL: parallel shortest-path distance queries.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a Table-2 stand-in graph")
+    g.add_argument("--dataset", required=True, choices=dataset_names())
+    g.add_argument("--scale", type=float, default=1.0)
+    g.add_argument("--seed", type=int, default=42)
+    g.add_argument("--out", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    i = sub.add_parser("index", help="build a PLL distance index")
+    i.add_argument("--graph", required=True)
+    i.add_argument("--threads", type=int, default=1)
+    i.add_argument("--policy", choices=("static", "dynamic"), default="dynamic")
+    i.add_argument(
+        "--engine",
+        choices=("dijkstra", "bfs"),
+        default="dijkstra",
+        help="dijkstra = weighted (default); bfs = unweighted hop counts",
+    )
+    i.add_argument("--out", default=None)
+    i.set_defaults(func=_cmd_index)
+
+    q = sub.add_parser("query", help="query a distance from a saved index")
+    q.add_argument("--index", required=True)
+    q.add_argument("--graph", default=None)
+    q.add_argument("source", type=int)
+    q.add_argument("target", type=int)
+    q.set_defaults(func=_cmd_query)
+
+    s = sub.add_parser("stats", help="summarise a saved index")
+    s.add_argument("--index", required=True)
+    s.set_defaults(func=_cmd_stats)
+
+    b = sub.add_parser(
+        "bench",
+        help="regenerate paper tables/figures",
+        add_help=False,
+    )
+    b.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    import sys as _sys
+
+    argv = list(_sys.argv[1:]) if argv is None else list(argv)
+    # "bench" forwards everything after it to the bench runner's own
+    # parser (argparse subparsers cannot pass through unknown options).
+    if argv and argv[0] == "bench":
+        from repro.bench.runner import main as bench_main
+
+        return bench_main(argv[1:])
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Inter-node ParaPLL over a simulated message-passing cluster.
+
+The paper deploys ParaPLL on a 6-node OpenMPI cluster; this environment
+has neither MPI nor multiple machines, so the package provides:
+
+* :mod:`repro.cluster.network` — a latency/bandwidth cost model with the
+  paper's O(l·q·log q) collective-exchange time (§5.4.3).
+* :mod:`repro.cluster.comm` — ``SimComm``, an in-process MPI-flavoured
+  communicator (send/recv/bcast/allgather/barrier) whose collectives
+  charge time through the network model.
+* :mod:`repro.cluster.partition` — the static inter-node task split.
+* :mod:`repro.cluster.parapll` — Algorithm 3: per-node indexing with
+  delta ``List`` accumulation and periodic synchronisation, simulated
+  with one :class:`~repro.sim.executor.IntraNodeSimulator` per node.
+"""
+
+from repro.cluster.comm import SimComm
+from repro.cluster.network import NetworkModel
+from repro.cluster.parapll import ClusterRunResult, simulate_cluster
+from repro.cluster.partition import round_robin_partition, split_chunks
+from repro.cluster.runner import cluster_rank_program, run_cluster_threads
+from repro.cluster.threadcomm import ThreadComm, run_ranks
+
+__all__ = [
+    "SimComm",
+    "NetworkModel",
+    "simulate_cluster",
+    "ClusterRunResult",
+    "round_robin_partition",
+    "split_chunks",
+    "ThreadComm",
+    "run_ranks",
+    "cluster_rank_program",
+    "run_cluster_threads",
+]

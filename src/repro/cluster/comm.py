@@ -1,0 +1,197 @@
+"""``SimComm``: an in-process, MPI-flavoured communicator.
+
+Implements the subset of the MPI interface that cluster ParaPLL needs
+— point-to-point ``send``/``recv``, ``bcast``, ``allgather`` and
+``barrier`` — over per-rank in-memory mailboxes, with per-rank virtual
+clocks advanced by the :class:`~repro.cluster.network.NetworkModel`.
+The method names and root-rank semantics mirror ``mpi4py``'s
+lowercase (pickling) API so the code reads like real MPI.
+
+A collective must be invoked once per rank (any order); it completes —
+and returns each rank's result — when the last rank joins, after which
+all participating clocks sit at the common exit time.  This is a
+*cooperative* communicator for the single-threaded simulator: the
+driver calls the collective for every rank in one loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.cluster.network import NetworkModel
+from repro.errors import CommError
+
+__all__ = ["SimComm"]
+
+
+def _payload_entries(payload: Any) -> int:
+    """Size of a payload in label entries (lists/tuples) or 1 otherwise."""
+    if isinstance(payload, (list, tuple)):
+        return len(payload)
+    return 1
+
+
+class SimComm:
+    """A simulated communicator over *size* ranks.
+
+    Args:
+        size: number of ranks (cluster nodes).
+        network: the cost model charging virtual time to collectives.
+        seconds_per_unit: conversion from network work units to seconds
+            (use the calibrated cost model's constant so computation and
+            communication share a time base).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        network: Optional[NetworkModel] = None,
+        seconds_per_unit: float = 1.0,
+    ) -> None:
+        if size < 1:
+            raise CommError("communicator size must be >= 1")
+        if seconds_per_unit <= 0:
+            raise CommError("seconds_per_unit must be positive")
+        self.size = size
+        self.network = network or NetworkModel()
+        self.seconds_per_unit = seconds_per_unit
+        self.clocks: List[float] = [0.0] * size
+        #: Total seconds each rank has spent inside collectives/messaging.
+        self.comm_seconds: List[float] = [0.0] * size
+        self._mailboxes: Dict[Tuple[int, int, int], Deque[Any]] = {}
+        # Pending collective state: op name -> {rank: payload}.
+        self._pending: Dict[str, Dict[int, Any]] = {}
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} out of range [0, {self.size})")
+
+    def set_clock(self, rank: int, time: float) -> None:
+        """Advance one rank's clock to *time* (its local compute finished)."""
+        self._check_rank(rank)
+        if time < self.clocks[rank] - 1e-12:
+            raise CommError("clocks cannot run backwards")
+        self.clocks[rank] = time
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, source: int, dest: int, tag: int = 0) -> None:
+        """Send *payload* from *source* to *dest* (non-blocking)."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        units = self.network.latency_units + (
+            self.network.per_entry_units * _payload_entries(payload)
+        )
+        send_done = self.clocks[source] + units * self.seconds_per_unit
+        self.comm_seconds[source] += send_done - self.clocks[source]
+        self.clocks[source] = send_done
+        key = (source, dest, tag)
+        self._mailboxes.setdefault(key, deque()).append((send_done, payload))
+
+    def recv(self, source: int, dest: int, tag: int = 0) -> Any:
+        """Receive the next message from *source* at *dest* (blocking).
+
+        The receiver's clock advances to at least the message arrival.
+
+        Raises:
+            CommError: if no matching message was ever sent.
+        """
+        self._check_rank(source)
+        self._check_rank(dest)
+        key = (source, dest, tag)
+        box = self._mailboxes.get(key)
+        if not box:
+            raise CommError(
+                f"recv on rank {dest} from {source} tag {tag}: no message"
+            )
+        arrival, payload = box.popleft()
+        wait = max(0.0, arrival - self.clocks[dest])
+        self.comm_seconds[dest] += wait
+        self.clocks[dest] = max(self.clocks[dest], arrival)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Collectives (cooperative: call once per rank, any order)
+    # ------------------------------------------------------------------
+    def barrier(self, rank: int) -> Optional[float]:
+        """Join the barrier; returns the exit time once all ranks joined.
+
+        Returns ``None`` while other ranks are still missing.
+        """
+        self._check_rank(rank)
+        pending = self._pending.setdefault("barrier", {})
+        if rank in pending:
+            raise CommError(f"rank {rank} joined the barrier twice")
+        pending[rank] = True
+        if len(pending) < self.size:
+            return None
+        exit_time = max(self.clocks)
+        for r in range(self.size):
+            self.comm_seconds[r] += exit_time - self.clocks[r]
+            self.clocks[r] = exit_time
+        del self._pending["barrier"]
+        return exit_time
+
+    def allgather(self, rank: int, payload: Any) -> Optional[List[Any]]:
+        """Contribute *payload*; returns all payloads once everyone joined.
+
+        Completion charges the full O(l·q·log q) exchange to every rank
+        and aligns all clocks at the common exit time.  Returns ``None``
+        for ranks that joined before the collective completed — the
+        driver retrieves their results with :meth:`collective_result`.
+        """
+        self._check_rank(rank)
+        pending = self._pending.setdefault("allgather", {})
+        if rank in pending:
+            raise CommError(f"rank {rank} joined the allgather twice")
+        pending[rank] = payload
+        if len(pending) < self.size:
+            return None
+        gathered = [pending[r] for r in range(self.size)]
+        sizes = [_payload_entries(p) for p in gathered]
+        units = self.network.exchange_units(sizes, self.size)
+        start = max(self.clocks)
+        exit_time = start + units * self.seconds_per_unit
+        for r in range(self.size):
+            self.comm_seconds[r] += exit_time - self.clocks[r]
+            self.clocks[r] = exit_time
+        del self._pending["allgather"]
+        self._last_allgather = gathered
+        return gathered
+
+    def collective_result(self) -> List[Any]:
+        """The payload list of the most recently completed allgather."""
+        try:
+            return self._last_allgather
+        except AttributeError:
+            raise CommError("no completed allgather to read") from None
+
+    def bcast(self, payload: Any, root: int) -> List[Any]:
+        """Broadcast *payload* from *root* to all ranks; returns copies.
+
+        Charges one O(l·log q) broadcast and synchronises all clocks at
+        its completion (a simplification: broadcast as a blocking
+        collective, which is how cluster ParaPLL uses it).
+        """
+        self._check_rank(root)
+        units = self.network.broadcast_units(
+            _payload_entries(payload), self.size
+        )
+        start = max(self.clocks)
+        exit_time = start + units * self.seconds_per_unit
+        for r in range(self.size):
+            self.comm_seconds[r] += exit_time - self.clocks[r]
+            self.clocks[r] = exit_time
+        return [payload for _ in range(self.size)]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_comm_seconds(self) -> float:
+        """Seconds spent in communication, summed across ranks."""
+        return sum(self.comm_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimComm(size={self.size}, clocks={self.clocks})"

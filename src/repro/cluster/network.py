@@ -1,0 +1,77 @@
+"""Cluster network cost model.
+
+The paper's §5.4.3 analysis: one synchronisation makes every node
+broadcast its delta to all others; a broadcast is ``log q`` send/receive
+stages, so exchanging labels of total size *l* across *q* nodes costs
+O(l·q·log q) — communication time per sync is::
+
+    sum over nodes i of (latency + per_entry * l_i) * ceil(log2 q)
+
+Costs are expressed in the same abstract *work units* as
+:class:`~repro.sim.costmodel.CostModel`, so one calibration constant
+converts both computation and communication to seconds.  The default
+``latency_units`` corresponds to a few average root searches per
+message round trip — the regime where the paper's "synchronise once"
+conclusion holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CommError
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters of the simulated interconnect.
+
+    Attributes:
+        latency_units: fixed cost per broadcast stage per node (message
+            setup + barrier handshake), in work units.
+        per_entry_units: cost of shipping one label entry through one
+            broadcast stage, in work units.
+    """
+
+    latency_units: float = 4000.0
+    per_entry_units: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.latency_units < 0 or self.per_entry_units < 0:
+            raise CommError("network cost parameters must be non-negative")
+
+    def stages(self, num_nodes: int) -> int:
+        """Broadcast stages for *num_nodes* ranks: ``ceil(log2 q)``."""
+        if num_nodes < 1:
+            raise CommError("num_nodes must be >= 1")
+        if num_nodes == 1:
+            return 0
+        return math.ceil(math.log2(num_nodes))
+
+    def broadcast_units(self, entries: int, num_nodes: int) -> float:
+        """Units for one node broadcasting *entries* label entries."""
+        if entries < 0:
+            raise CommError("entries must be non-negative")
+        s = self.stages(num_nodes)
+        return (self.latency_units + self.per_entry_units * entries) * s
+
+    def exchange_units(
+        self, entries_per_node: Sequence[int], num_nodes: int
+    ) -> float:
+        """Units for a full all-to-all label exchange (one sync point).
+
+        Every node broadcasts its delta in turn (the paper's gather of
+        every node's ``List``), so the total is the sum of the
+        individual broadcasts — the O(l·q·log q) expression.
+        """
+        if len(entries_per_node) != num_nodes:
+            raise CommError(
+                f"expected {num_nodes} delta sizes, got {len(entries_per_node)}"
+            )
+        return sum(
+            self.broadcast_units(e, num_nodes) for e in entries_per_node
+        )

@@ -1,0 +1,167 @@
+"""``ThreadComm``: a *concurrent* message-passing substrate over threads.
+
+:class:`~repro.cluster.comm.SimComm` is cooperative (a single driver
+invokes every rank) and models virtual time; ``ThreadComm`` is its
+execution-oriented sibling: each rank runs on its own thread and the
+communicator provides genuinely blocking ``send``/``recv``/``bcast``/
+``allgather``/``barrier`` between them, with the same lowercase
+mpi4py-flavoured surface.  Ranks share no algorithm state — the cluster
+runner built on top (:mod:`repro.cluster.runner`) gives every rank a
+private label store and communicates *only* through this interface, so
+the code is structured exactly like an MPI program and would port to
+``mpi4py.MPI.COMM_WORLD`` by swapping the communicator object.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CommError
+
+__all__ = ["ThreadComm", "run_ranks"]
+
+
+class ThreadComm:
+    """A blocking communicator over *size* thread-backed ranks.
+
+    One ``ThreadComm`` object is shared by all rank threads; every
+    method takes the calling rank explicitly (threads are anonymous).
+
+    Args:
+        size: number of ranks.
+        timeout: safety timeout in seconds for blocking operations —
+            a deadlocked collective raises instead of hanging the test
+            suite forever.
+    """
+
+    def __init__(self, size: int, timeout: float = 30.0) -> None:
+        if size < 1:
+            raise CommError("communicator size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self._boxes: Dict[Tuple[int, int, int], "queue.Queue[Any]"] = {}
+        self._boxes_lock = threading.Lock()
+        self._barrier = threading.Barrier(size)
+        # Allgather state: a slot list plus a barrier-protected epoch.
+        self._gather_lock = threading.Lock()
+        self._gather_slots: List[Any] = [None] * size
+        self._gather_filled: List[bool] = [False] * size
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} out of range [0, {self.size})")
+
+    def _box(self, source: int, dest: int, tag: int) -> "queue.Queue[Any]":
+        key = (source, dest, tag)
+        with self._boxes_lock:
+            box = self._boxes.get(key)
+            if box is None:
+                box = queue.Queue()
+                self._boxes[key] = box
+            return box
+
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, source: int, dest: int, tag: int = 0) -> None:
+        """Deliver *payload* to *dest*'s mailbox (non-blocking)."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        self._box(source, dest, tag).put(payload)
+
+    def recv(self, source: int, dest: int, tag: int = 0) -> Any:
+        """Block until a message from *source* arrives at *dest*.
+
+        Raises:
+            CommError: when the safety timeout expires.
+        """
+        self._check_rank(source)
+        self._check_rank(dest)
+        try:
+            return self._box(source, dest, tag).get(timeout=self.timeout)
+        except queue.Empty:
+            raise CommError(
+                f"recv timeout on rank {dest} from {source} tag {tag}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def barrier(self, rank: int) -> None:
+        """Block until every rank reaches the barrier."""
+        self._check_rank(rank)
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            raise CommError("barrier timed out or was broken") from None
+
+    def allgather(self, rank: int, payload: Any) -> List[Any]:
+        """Contribute *payload*; returns every rank's payload, in order.
+
+        Implemented as slot-fill + two barriers (fill, read-out), so it
+        is safe to call repeatedly in a loop from all ranks.
+        """
+        self._check_rank(rank)
+        with self._gather_lock:
+            if self._gather_filled[rank]:
+                raise CommError(
+                    f"rank {rank} joined the same allgather twice"
+                )
+            self._gather_slots[rank] = payload
+            self._gather_filled[rank] = True
+        self.barrier(rank)  # everyone has written
+        result = list(self._gather_slots)
+        self.barrier(rank)  # everyone has read
+        # One designated rank resets the slots for the next round; the
+        # final barrier keeps slot reuse race-free.
+        if rank == 0:
+            with self._gather_lock:
+                self._gather_slots = [None] * self.size
+                self._gather_filled = [False] * self.size
+        self.barrier(rank)
+        return result
+
+    def bcast(self, payload: Any, root: int, rank: int) -> Any:
+        """Broadcast from *root*; every rank returns the payload."""
+        self._check_rank(root)
+        gathered = self.allgather(rank, payload if rank == root else None)
+        return gathered[root]
+
+
+def run_ranks(
+    comm: ThreadComm,
+    fn: Callable[[int, ThreadComm], Any],
+    timeout: Optional[float] = None,
+) -> List[Any]:
+    """Run ``fn(rank, comm)`` on one thread per rank; gather the returns.
+
+    Exceptions from any rank are re-raised in the caller (the first one
+    by rank order) after all threads have been joined.
+
+    Args:
+        comm: the communicator whose ``size`` defines the rank count.
+        fn: the per-rank program.
+        timeout: join timeout per thread (defaults to the comm's).
+    """
+    results: List[Any] = [None] * comm.size
+    errors: List[Optional[BaseException]] = [None] * comm.size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(rank, comm)
+        except BaseException as exc:  # surfaced below
+            errors[rank] = exc
+            # Break the barrier so sibling ranks fail fast instead of
+            # waiting out the full timeout.
+            comm._barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank-{r}")
+        for r in range(comm.size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout or comm.timeout + 5.0)
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

@@ -1,0 +1,205 @@
+"""The user-facing distance index: build once, query in microseconds.
+
+:class:`PLLIndex` bundles a finalized :class:`~repro.core.labels.LabelStore`
+with the vertex ordering it was built under, and exposes distance
+queries, meeting-hub queries, persistence and statistics.  Builders
+(serial, threaded, simulated, cluster) all end by wrapping their store
+in a ``PLLIndex``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.labels import LabelStore
+from repro.core.query import query_distance, query_result
+from repro.core.serial import build_serial
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.order import ordering_rank, validate_ordering
+from repro.types import IndexStats, QueryResult
+
+__all__ = ["PLLIndex"]
+
+
+class PLLIndex:
+    """A finalized 2-hop-cover distance index.
+
+    Construct via :meth:`build` (serial PLL) or wrap a store produced by
+    one of the parallel builders with the constructor directly.
+
+    Args:
+        store: finalized label store (hubs keyed by rank).
+        order: the vertex ordering used during the build.
+        graph: the indexed graph, kept for validation helpers; optional
+            (a loaded index can answer queries without the graph).
+        stats: build statistics, when available.
+    """
+
+    def __init__(
+        self,
+        store: LabelStore,
+        order: Sequence[int],
+        graph: Optional[CSRGraph] = None,
+        stats: Optional[IndexStats] = None,
+    ) -> None:
+        self.store = store
+        self.order = np.asarray(order, dtype=np.int64)
+        if graph is not None:
+            validate_ordering(graph, self.order)
+        self.rank = ordering_rank(self.order)
+        self.graph = graph
+        self.stats = stats
+        store.finalize()
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: CSRGraph,
+        order: Optional[Sequence[int]] = None,
+        pq_factory: Optional[Callable[[], object]] = None,
+        collect_per_root: bool = False,
+    ) -> "PLLIndex":
+        """Build serially with weighted PLL (Algorithm 1 over all roots).
+
+        See :func:`repro.core.serial.build_serial` for parameters.
+        """
+        from repro.graph.order import by_degree
+
+        if order is None:
+            order = by_degree(graph)
+        store, stats = build_serial(
+            graph,
+            order=order,
+            pq_factory=pq_factory,
+            collect_per_root=collect_per_root,
+        )
+        return cls(store, order, graph=graph, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of indexed vertices."""
+        return self.store.n
+
+    def distance(self, s: int, t: int) -> float:
+        """Shortest-path distance between *s* and *t* (``inf`` if none)."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        return query_distance(self.store, s, t)
+
+    def query(self, s: int, t: int) -> QueryResult:
+        """Distance plus the meeting hub (as a vertex id) and scan cost."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        res = query_result(self.store, s, t)
+        if res.hub is None:
+            return res
+        return QueryResult(
+            distance=res.distance,
+            hub=int(self.order[res.hub]),
+            entries_scanned=res.entries_scanned,
+        )
+
+    def distances_from(self, s: int, targets: Sequence[int]) -> list[float]:
+        """Batch distances from *s* to each vertex in *targets*."""
+        self._check_vertex(s)
+        return [self.distance(s, int(t)) for t in targets]
+
+    def shortest_path(self, s: int, t: int) -> Optional[list[int]]:
+        """One shortest path ``[s, ..., t]`` (``None`` if unreachable).
+
+        Recovered by greedy next-hop walking over the attached graph;
+        requires the index to have been built or loaded with its graph.
+
+        Raises:
+            GraphError: if no graph is attached.
+        """
+        if self.graph is None:
+            raise GraphError(
+                "shortest_path needs the graph; build with it or pass "
+                "graph= to PLLIndex.load"
+            )
+        from repro.core.paths import reconstruct_shortest_path
+
+        return reconstruct_shortest_path(self, self.graph, s, t)
+
+    def avg_label_size(self) -> float:
+        """The paper's "LN" metric for this index."""
+        return self.store.avg_label_size
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.store.n:
+            raise GraphError(f"vertex {v} out of range [0, {self.store.n})")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Serialise the index (labels + ordering) to an ``.npz`` file."""
+        arrays = self.store.to_arrays()
+        np.savez_compressed(
+            path,
+            order=self.order,
+            label_indptr=arrays["indptr"],
+            label_hubs=arrays["hubs"],
+            label_dists=arrays["dists"],
+        )
+
+    @classmethod
+    def load(
+        cls, path: str | os.PathLike, graph: Optional[CSRGraph] = None
+    ) -> "PLLIndex":
+        """Load an index saved with :meth:`save`.
+
+        Args:
+            path: the ``.npz`` file.
+            graph: optionally re-attach the graph for validation helpers.
+        """
+        with np.load(path) as data:
+            order = data["order"]
+            store = LabelStore.from_arrays(
+                data["label_indptr"], data["label_hubs"], data["label_dists"]
+            )
+        return cls(store, order, graph=graph)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def verify_against_dijkstra(
+        self, sources: Sequence[int], atol: float = 1e-9
+    ) -> None:
+        """Assert every distance from the given sources matches Dijkstra.
+
+        Raises:
+            GraphError: if the index has no attached graph.
+            AssertionError: on the first mismatching pair.
+        """
+        if self.graph is None:
+            raise GraphError("index has no attached graph to verify against")
+        from repro.baselines.dijkstra import dijkstra_sssp
+
+        for s in sources:
+            truth = dijkstra_sssp(self.graph, int(s))
+            for t in range(self.graph.num_vertices):
+                got = self.distance(int(s), t)
+                want = truth[t]
+                if got == want:
+                    continue
+                assert abs(got - want) <= atol, (
+                    f"distance({s}, {t}) = {got}, Dijkstra says {want}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PLLIndex(n={self.store.n}, entries={self.store.total_entries}, "
+            f"LN={self.store.avg_label_size:.1f})"
+        )

@@ -1,0 +1,268 @@
+"""The 2-hop-cover label store.
+
+``L(v)`` is a set of ``(hub, distance)`` pairs meaning "the distance
+from hub to v is exactly d".  Internally hubs are stored by *rank* —
+their position in the vertex ordering — because the pruning query is a
+dense array lookup keyed by rank, and because rank order is the natural
+sort order for the merge-join query.
+
+Layout: two parallel Python lists per vertex (``_hubs[v]``,
+``_dists[v]``).  Plain lists beat numpy here: entries arrive one at a
+time from a pure-Python search loop, and the pruning query iterates a
+few dozen entries per probe — exactly the regime where native lists win
+(see the HPC optimisation guide on scalar numpy overhead).
+:meth:`LabelStore.finalize` converts to sorted numpy arrays for the
+query stage and for serialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, NotIndexedError
+
+__all__ = ["LabelStore"]
+
+
+class LabelStore:
+    """Mutable per-vertex label lists, keyed by hub rank.
+
+    Args:
+        n: number of vertices.
+
+    The store starts empty (the paper's ``L_0``).  Builders append with
+    :meth:`add` or :meth:`add_delta`; the pruning query reads through
+    :meth:`hubs_of` / :meth:`dists_of`; :meth:`finalize` freezes the
+    store into numpy form.
+    """
+
+    __slots__ = ("n", "_hubs", "_dists", "_finalized_hubs", "_finalized_dists")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise GraphError("label store size must be non-negative")
+        self.n = n
+        self._hubs: List[List[int]] = [[] for _ in range(n)]
+        self._dists: List[List[float]] = [[] for _ in range(n)]
+        self._finalized_hubs: List[np.ndarray] | None = None
+        self._finalized_dists: List[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, v: int, hub_rank: int, dist: float) -> None:
+        """Append one label entry ``(hub_rank, dist)`` to ``L(v)``.
+
+        The distance is appended *before* the hub: concurrent lock-free
+        readers (the pruning loop in other threads) capture
+        ``len(hubs_of(v))`` first, so writing dists first guarantees any
+        visible hub has its distance in place (CPython list appends are
+        atomic under the GIL).
+        """
+        self._dists[v].append(dist)
+        self._hubs[v].append(hub_rank)
+        self._finalized_hubs = None
+        self._finalized_dists = None
+
+    def add_delta(self, delta: Iterable[Tuple[int, int, float]]) -> int:
+        """Bulk-append ``(v, hub_rank, dist)`` triples; returns the count.
+
+        Duplicate (v, hub) pairs are tolerated (they arise from delayed
+        synchronisation); queries take a min so duplicates are harmless,
+        and :meth:`finalize` deduplicates keeping the smallest distance.
+        """
+        hubs, dists = self._hubs, self._dists
+        count = 0
+        for v, h, d in delta:
+            dists[v].append(d)
+            hubs[v].append(h)
+            count += 1
+        if count:
+            self._finalized_hubs = None
+            self._finalized_dists = None
+        return count
+
+    # ------------------------------------------------------------------
+    # Read access (pruning path)
+    # ------------------------------------------------------------------
+    def hubs_of(self, v: int) -> List[int]:
+        """Hub ranks of ``L(v)`` (live list — do not mutate)."""
+        return self._hubs[v]
+
+    def dists_of(self, v: int) -> List[float]:
+        """Distances of ``L(v)``, parallel to :meth:`hubs_of`."""
+        return self._dists[v]
+
+    def entries_of(self, v: int) -> List[Tuple[int, float]]:
+        """``(hub_rank, dist)`` pairs of ``L(v)`` (copied)."""
+        return list(zip(self._hubs[v], self._dists[v]))
+
+    def label_size(self, v: int) -> int:
+        """Number of entries in ``L(v)``."""
+        return len(self._hubs[v])
+
+    def label_sizes(self) -> List[int]:
+        """Per-vertex label sizes."""
+        return [len(h) for h in self._hubs]
+
+    @property
+    def total_entries(self) -> int:
+        """Total entries across all vertices."""
+        return sum(len(h) for h in self._hubs)
+
+    @property
+    def avg_label_size(self) -> float:
+        """The paper's "LN": mean entries per vertex."""
+        return self.total_entries / self.n if self.n else 0.0
+
+    # ------------------------------------------------------------------
+    # Finalisation (query stage)
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Sort each label by hub rank, deduplicate, and freeze to numpy.
+
+        Safe to call repeatedly; re-finalises only after mutations.
+        Duplicated hubs (from delayed synchronisation) keep the smallest
+        distance — which by construction is the true distance, since any
+        stored distance for the same (hub, v) pair is produced by an
+        exact Dijkstra from the hub.
+        """
+        if self._finalized_hubs is not None:
+            return
+        fh: List[np.ndarray] = []
+        fd: List[np.ndarray] = []
+        for v in range(self.n):
+            h = np.asarray(self._hubs[v], dtype=np.int64)
+            d = np.asarray(self._dists[v], dtype=np.float64)
+            if len(h) > 1:
+                order = np.lexsort((d, h))
+                h = h[order]
+                d = d[order]
+                keep = np.empty(len(h), dtype=bool)
+                keep[0] = True
+                np.not_equal(h[1:], h[:-1], out=keep[1:])
+                h = h[keep]
+                d = d[keep]
+            fh.append(h)
+            fd.append(d)
+        self._finalized_hubs = fh
+        self._finalized_dists = fd
+
+    def finalized_hubs(self, v: int) -> np.ndarray:
+        """Sorted, deduplicated hub ranks of ``L(v)`` (after finalize)."""
+        if self._finalized_hubs is None:
+            raise NotIndexedError("call LabelStore.finalize() first")
+        return self._finalized_hubs[v]
+
+    def finalized_dists(self, v: int) -> np.ndarray:
+        """Distances parallel to :meth:`finalized_hubs`."""
+        if self._finalized_dists is None:
+            raise NotIndexedError("call LabelStore.finalize() first")
+        return self._finalized_dists[v]
+
+    # ------------------------------------------------------------------
+    # Merging / copying (cluster substrate)
+    # ------------------------------------------------------------------
+    def copy(self) -> "LabelStore":
+        """Deep copy of the mutable label lists."""
+        other = LabelStore(self.n)
+        other._hubs = [list(h) for h in self._hubs]
+        other._dists = [list(d) for d in self._dists]
+        return other
+
+    def merge_from(self, other: "LabelStore") -> int:
+        """Union *other*'s entries into this store; returns entries added.
+
+        Exact-duplicate (v, hub) pairs already present are skipped so that
+        repeated synchronisation rounds don't inflate the store.
+        """
+        if other.n != self.n:
+            raise GraphError("cannot merge label stores of different sizes")
+        added = 0
+        for v in range(self.n):
+            have = set(self._hubs[v])
+            oh, od = other._hubs[v], other._dists[v]
+            for i in range(len(oh)):
+                if oh[i] not in have:
+                    self._hubs[v].append(oh[i])
+                    self._dists[v].append(od[i])
+                    have.add(oh[i])
+                    added += 1
+        if added:
+            self._finalized_hubs = None
+            self._finalized_dists = None
+        return added
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the (finalized) store into three arrays for ``np.savez``.
+
+        Returns:
+            dict with ``indptr`` (int64, n+1), ``hubs`` (int64) and
+            ``dists`` (float64).
+        """
+        self.finalize()
+        assert self._finalized_hubs is not None
+        assert self._finalized_dists is not None
+        sizes = [len(h) for h in self._finalized_hubs]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        hubs = (
+            np.concatenate(self._finalized_hubs)
+            if self.n
+            else np.empty(0, dtype=np.int64)
+        )
+        dists = (
+            np.concatenate(self._finalized_dists)
+            if self.n
+            else np.empty(0, dtype=np.float64)
+        )
+        return {"indptr": indptr, "hubs": hubs, "dists": dists}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: Sequence[int],
+        hubs: Sequence[int],
+        dists: Sequence[float],
+    ) -> "LabelStore":
+        """Rebuild a store from :meth:`to_arrays` output."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        hubs = np.asarray(hubs, dtype=np.int64)
+        dists = np.asarray(dists, dtype=np.float64)
+        if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(hubs):
+            raise GraphError("invalid label indptr")
+        if len(hubs) != len(dists):
+            raise GraphError("hubs and dists must have equal length")
+        store = cls(len(indptr) - 1)
+        for v in range(store.n):
+            lo, hi = int(indptr[v]), int(indptr[v + 1])
+            store._hubs[v] = hubs[lo:hi].tolist()
+            store._dists[v] = dists[lo:hi].tolist()
+        return store
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Set equality of label entries, distance-aware."""
+        if not isinstance(other, LabelStore):
+            return NotImplemented
+        if self.n != other.n:
+            return False
+        for v in range(self.n):
+            a = dict(zip(self._hubs[v], self._dists[v]))
+            b = dict(zip(other._hubs[v], other._dists[v]))
+            if a != b:
+                return False
+        return True
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LabelStore(n={self.n}, entries={self.total_entries}, "
+            f"avg={self.avg_label_size:.1f})"
+        )

@@ -1,0 +1,67 @@
+"""The serial weighted PLL indexer (the paper's §4.1 baseline).
+
+Runs pruned Dijkstra from every vertex in ordering sequence, committing
+each root's delta before the next root starts — the optimal-pruning
+reference that all parallel variants are compared against (their "PLL"
+and "1 thread" columns in Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.labels import LabelStore
+from repro.core.pruned_dijkstra import PrunedDijkstra
+from repro.graph.csr import CSRGraph
+from repro.graph.order import by_degree
+from repro.types import IndexStats, SearchStats
+
+__all__ = ["build_serial"]
+
+
+def build_serial(
+    graph: CSRGraph,
+    order: Optional[Sequence[int]] = None,
+    pq_factory: Optional[Callable[[], object]] = None,
+    collect_per_root: bool = False,
+) -> Tuple[LabelStore, IndexStats]:
+    """Build a complete 2-hop-cover label set serially.
+
+    Args:
+        graph: the graph to index.
+        order: vertex ordering (defaults to descending degree, the
+            paper's choice).
+        pq_factory: optional priority-queue override (ablation hook).
+        collect_per_root: also record one :class:`SearchStats` per root
+            in indexing order.  Needed by the Figure-6 CDF and by the
+            simulator's cost calibration; off by default because the
+            counters add measurable overhead to the hot loop.
+
+    Returns:
+        ``(store, stats)`` — the label store (already finalized) and the
+        build statistics.
+    """
+    if order is None:
+        order = by_degree(graph)
+    engine = PrunedDijkstra(graph, order, pq_factory=pq_factory)
+    store = LabelStore(graph.num_vertices)
+
+    per_root: list[SearchStats] = []
+    t0 = time.perf_counter()
+    if collect_per_root:
+        for root in engine.order:
+            stats = SearchStats()
+            delta = engine.run(int(root), store, stats)
+            engine.commit(int(root), delta, store)
+            per_root.append(stats)
+    else:
+        for root in engine.order:
+            delta = engine.run(int(root), store)
+            engine.commit(int(root), delta, store)
+    elapsed = time.perf_counter() - t0
+
+    store.finalize()
+    stats = IndexStats.from_sizes(store.label_sizes(), elapsed)
+    stats.per_root = per_root
+    return store, stats

@@ -1,0 +1,84 @@
+"""Label statistics: size summaries and the Figure-6 CDF.
+
+Figure 6 of the paper plots, against the sequence number *x* of pruned
+Dijkstra invocations, the cumulative fraction of all label entries
+created by the first *x* roots — showing that ~90 % of all entries come
+from the first ~100 roots, and that ParaPLL's curve tracks serial PLL's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.types import SearchStats
+
+__all__ = ["label_cdf", "label_size_summary"]
+
+
+def label_cdf(per_root: Sequence[SearchStats]) -> np.ndarray:
+    """Cumulative fraction of label entries per root, in indexing order.
+
+    Args:
+        per_root: per-root search statistics as recorded by a builder
+            (e.g. ``build_serial(..., collect_per_root=True)``), ordered
+            by invocation sequence.
+
+    Returns:
+        ``float64`` array ``cdf`` of length ``len(per_root)`` where
+        ``cdf[x]`` is the fraction of all label entries created by roots
+        ``0..x``.  Empty input yields an empty array.
+    """
+    counts = np.array([s.labels_added for s in per_root], dtype=np.float64)
+    if len(counts) == 0:
+        return counts
+    total = counts.sum()
+    if total == 0:
+        return np.zeros_like(counts)
+    return np.cumsum(counts) / total
+
+
+def roots_to_reach(cdf: np.ndarray, fraction: float) -> int:
+    """Smallest number of roots whose entries reach *fraction* of the total.
+
+    This is the paper's "~90 % after 100 invocations" statistic.
+
+    Args:
+        cdf: output of :func:`label_cdf`.
+        fraction: target cumulative fraction in (0, 1].
+
+    Returns:
+        The 1-based count of roots, or ``len(cdf)`` if never reached
+        (only possible with ``fraction > 1`` or empty input rounding).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if len(cdf) == 0:
+        return 0
+    idx = int(np.searchsorted(cdf, fraction - 1e-12))
+    return min(idx + 1, len(cdf))
+
+
+def label_size_summary(sizes: Sequence[int]) -> Dict[str, float]:
+    """Summary statistics of per-vertex label sizes.
+
+    Returns:
+        dict with ``mean`` (the paper's LN), ``max``, ``min``, ``median``
+        and ``p99``.
+    """
+    arr = np.asarray(sizes, dtype=np.float64)
+    if len(arr) == 0:
+        return {"mean": 0.0, "max": 0.0, "min": 0.0, "median": 0.0, "p99": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def per_root_label_counts(per_root: Sequence[SearchStats]) -> List[int]:
+    """Labels contributed by each root, in indexing order."""
+    return [s.labels_added for s in per_root]

@@ -1,0 +1,27 @@
+"""Directed-graph support (extension beyond the paper).
+
+The paper treats undirected graphs; many of its motivating networks
+(web graphs, trust networks) are really directed.  2-hop covers extend
+naturally: every vertex keeps an *out-label* (hubs it can reach) and an
+*in-label* (hubs that reach it); a query meets an out-hub of the source
+with an in-hub of the target.  Indexing runs a pruned *forward* and a
+pruned *backward* Dijkstra per root.
+
+* :class:`~repro.digraph.graph.DiCSRGraph` — immutable directed CSR
+  (out- and in-adjacency), with :class:`~repro.digraph.graph.
+  DiGraphBuilder`.
+* :mod:`repro.digraph.dijkstra` — forward/backward Dijkstra baselines.
+* :class:`~repro.digraph.pll.DirectedPLLIndex` — serial directed PLL.
+"""
+
+from repro.digraph.dijkstra import dijkstra_backward, dijkstra_forward
+from repro.digraph.graph import DiCSRGraph, DiGraphBuilder
+from repro.digraph.pll import DirectedPLLIndex
+
+__all__ = [
+    "DiCSRGraph",
+    "DiGraphBuilder",
+    "dijkstra_forward",
+    "dijkstra_backward",
+    "DirectedPLLIndex",
+]

@@ -1,0 +1,39 @@
+"""Forward and backward Dijkstra on directed graphs (ground truth)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.digraph.graph import DiCSRGraph
+from repro.types import INF
+
+__all__ = ["dijkstra_forward", "dijkstra_backward"]
+
+
+def _dijkstra(adj: List[List[tuple]], n: int, source: int) -> List[float]:
+    dist: List[float] = [INF] * n
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def dijkstra_forward(graph: DiCSRGraph, source: int) -> List[float]:
+    """Distances *from* *source* along arc directions."""
+    graph._check_vertex(source)
+    return _dijkstra(graph.out_adjacency(), graph.num_vertices, source)
+
+
+def dijkstra_backward(graph: DiCSRGraph, target: int) -> List[float]:
+    """Distances from every vertex *to* *target* (reverse-arc search)."""
+    graph._check_vertex(target)
+    return _dijkstra(graph.in_adjacency(), graph.num_vertices, target)

@@ -1,0 +1,195 @@
+"""Directed CSR graph: out- and in-adjacency in one immutable object."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.types import INF
+
+__all__ = ["DiCSRGraph", "DiGraphBuilder"]
+
+
+class DiCSRGraph:
+    """An immutable directed weighted graph.
+
+    Stores both orientations: ``out_*`` arrays index successors of each
+    vertex, ``in_*`` arrays index predecessors (needed by backward
+    searches).  Construct via :class:`DiGraphBuilder`.
+    """
+
+    __slots__ = (
+        "out_indptr", "out_indices", "out_weights",
+        "in_indptr", "in_indices", "in_weights",
+        "name", "_out_adj", "_in_adj",
+    )
+
+    def __init__(
+        self,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        out_weights: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_weights: np.ndarray,
+        name: str = "digraph",
+    ) -> None:
+        for indptr, indices, weights, side in (
+            (out_indptr, out_indices, out_weights, "out"),
+            (in_indptr, in_indices, in_weights, "in"),
+        ):
+            if indptr[0] != 0 or indptr[-1] != len(indices):
+                raise GraphError(f"{side}-indptr inconsistent with indices")
+            if len(indices) != len(weights):
+                raise GraphError(f"{side} indices/weights length mismatch")
+            if len(weights) and (
+                not np.all(np.isfinite(weights)) or weights.min() <= 0
+            ):
+                raise GraphError(f"{side} weights must be positive finite")
+        if len(out_indptr) != len(in_indptr):
+            raise GraphError("out/in vertex counts differ")
+        if len(out_indices) != len(in_indices):
+            raise GraphError("out/in arc counts differ")
+        self.out_indptr = np.ascontiguousarray(out_indptr, dtype=np.int64)
+        self.out_indices = np.ascontiguousarray(out_indices, dtype=np.int32)
+        self.out_weights = np.ascontiguousarray(out_weights, dtype=np.float64)
+        self.in_indptr = np.ascontiguousarray(in_indptr, dtype=np.int64)
+        self.in_indices = np.ascontiguousarray(in_indices, dtype=np.int32)
+        self.in_weights = np.ascontiguousarray(in_weights, dtype=np.float64)
+        self.name = name
+        self._out_adj: Optional[List[List[Tuple[int, float]]]] = None
+        self._in_adj: Optional[List[List[Tuple[int, float]]]] = None
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.out_indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs."""
+        return len(self.out_indices)
+
+    def arcs(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate all arcs as ``(u, v, w)``."""
+        for u in range(self.num_vertices):
+            lo, hi = self.out_indptr[u], self.out_indptr[u + 1]
+            for k in range(lo, hi):
+                yield u, int(self.out_indices[k]), float(self.out_weights[k])
+
+    def out_adjacency(self) -> List[List[Tuple[int, float]]]:
+        """Cached successor lists (``(v, w)`` tuples)."""
+        if self._out_adj is None:
+            self._out_adj = self._build_adj(
+                self.out_indptr, self.out_indices, self.out_weights
+            )
+        return self._out_adj
+
+    def in_adjacency(self) -> List[List[Tuple[int, float]]]:
+        """Cached predecessor lists."""
+        if self._in_adj is None:
+            self._in_adj = self._build_adj(
+                self.in_indptr, self.in_indices, self.in_weights
+            )
+        return self._in_adj
+
+    def _build_adj(self, indptr, indices, weights):
+        nbr = indices.tolist()
+        wts = weights.tolist()
+        return [
+            list(zip(nbr[indptr[u]: indptr[u + 1]],
+                     wts[indptr[u]: indptr[u + 1]]))
+            for u in range(self.num_vertices)
+        ]
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < self.num_vertices:
+            raise GraphError(f"vertex {u} out of range [0, {self.num_vertices})")
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degree."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-vertex in-degree."""
+        return np.diff(self.in_indptr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiCSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"arcs={self.num_arcs})"
+        )
+
+
+class DiGraphBuilder:
+    """Accumulates directed arcs and emits a :class:`DiCSRGraph`.
+
+    Args:
+        num_vertices: fixed vertex count, or grow-to-fit when ``None``.
+        on_duplicate: ``"min"`` (default) keeps the lightest parallel
+            arc; ``"error"`` raises.
+    """
+
+    def __init__(
+        self, num_vertices: Optional[int] = None, on_duplicate: str = "min"
+    ) -> None:
+        if on_duplicate not in ("min", "error"):
+            raise GraphError("on_duplicate must be 'min' or 'error'")
+        self._n = num_vertices or 0
+        self._explicit = num_vertices is not None
+        self._arcs: Dict[Tuple[int, int], float] = {}
+        self._dup = on_duplicate
+
+    def add_arc(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add one directed arc ``u -> v``."""
+        u, v, weight = int(u), int(v), float(weight)
+        if u < 0 or v < 0:
+            raise GraphError(f"negative vertex id in arc ({u}, {v})")
+        if self._explicit and (u >= self._n or v >= self._n):
+            raise GraphError(f"arc ({u}, {v}) out of range for n={self._n}")
+        if not (weight > 0) or weight == INF or weight != weight:
+            raise GraphError(f"arc weight must be positive finite: {weight}")
+        if u == v:
+            self._n = max(self._n, u + 1) if not self._explicit else self._n
+            return  # drop self loops
+        if not self._explicit:
+            self._n = max(self._n, u + 1, v + 1)
+        key = (u, v)
+        old = self._arcs.get(key)
+        if old is None:
+            self._arcs[key] = weight
+        elif self._dup == "min":
+            self._arcs[key] = min(old, weight)
+        else:
+            raise GraphError(f"duplicate arc {key}")
+
+    def add_arcs(self, arcs: Iterable[Tuple[int, int, float]]) -> None:
+        """Add many ``(u, v, w)`` arcs."""
+        for u, v, w in arcs:
+            self.add_arc(u, v, w)
+
+    def build(self, name: str = "digraph") -> DiCSRGraph:
+        """Emit the immutable directed graph."""
+        n = self._n
+        m = len(self._arcs)
+        us = np.fromiter((u for u, _v in self._arcs), dtype=np.int64, count=m)
+        vs = np.fromiter((v for _u, v in self._arcs), dtype=np.int64, count=m)
+        ws = np.fromiter(self._arcs.values(), dtype=np.float64, count=m)
+
+        def pack(src, dst, wts):
+            order = np.lexsort((dst, src))
+            src, dst, wts = src[order], dst[order], wts[order]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.add.at(indptr, src + 1, 1)
+            np.cumsum(indptr, out=indptr)
+            return indptr, dst.astype(np.int32), wts
+
+        out_indptr, out_indices, out_weights = pack(us, vs, ws)
+        in_indptr, in_indices, in_weights = pack(vs, us, ws)
+        return DiCSRGraph(
+            out_indptr, out_indices, out_weights,
+            in_indptr, in_indices, in_weights,
+            name=name,
+        )

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``KeyError``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or out-of-range vertices."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing a graph file that violates its declared format."""
+
+
+class IndexError_(ReproError):
+    """Raised for invalid use of a distance index (e.g. querying before build).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class NotIndexedError(IndexError_):
+    """Raised when querying an index whose build has not completed."""
+
+
+class OrderingError(ReproError):
+    """Raised when a vertex ordering is not a permutation of the vertices."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent simulator configuration or state."""
+
+
+class CommError(SimulationError):
+    """Raised for misuse of the simulated message-passing layer."""
+
+
+class TaskError(ReproError):
+    """Raised by task managers for invalid assignment requests."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for unknown experiments or bad params."""

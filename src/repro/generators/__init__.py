@@ -1,0 +1,41 @@
+"""Synthetic graph generators.
+
+The paper evaluates on 11 real-world graphs (Table 2); this package
+provides seeded synthetic stand-ins for each graph *family* —
+power-law social networks, P2P overlays, collaboration networks, grid
+road networks, AS topologies and email graphs — plus generic random
+graphs for tests.  All generators return connected, weighted, undirected
+:class:`~repro.graph.csr.CSRGraph` instances and are deterministic given
+a seed.
+"""
+
+from repro.generators.asnet import as_topology
+from repro.generators.paper import (
+    DATASETS,
+    dataset_names,
+    load_dataset,
+)
+from repro.generators.powerlaw import barabasi_albert, chung_lu, powerlaw_degrees
+from repro.generators.random_graphs import gnm_random_graph, gnp_random_graph
+from repro.generators.rmat import rmat_graph
+from repro.generators.road import grid_road_network
+from repro.generators.social import community_graph, watts_strogatz
+from repro.generators.weights import WEIGHT_DISTRIBUTIONS, make_weight_sampler
+
+__all__ = [
+    "gnm_random_graph",
+    "rmat_graph",
+    "gnp_random_graph",
+    "barabasi_albert",
+    "chung_lu",
+    "powerlaw_degrees",
+    "grid_road_network",
+    "watts_strogatz",
+    "community_graph",
+    "as_topology",
+    "make_weight_sampler",
+    "WEIGHT_DISTRIBUTIONS",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+]

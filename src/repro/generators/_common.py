@@ -1,0 +1,52 @@
+"""Shared helpers for graph generators."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.generators.weights import make_weight_sampler
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import largest_connected_component
+
+__all__ = ["assemble"]
+
+
+def assemble(
+    edges: Iterable[Tuple[int, int]],
+    num_vertices: int,
+    rng: np.random.Generator,
+    weight_dist: str,
+    name: str,
+    connect: bool = True,
+) -> CSRGraph:
+    """Turn an edge iterable into a weighted, connected CSR graph.
+
+    Args:
+        edges: undirected ``(u, v)`` pairs (duplicates/self loops ok).
+        num_vertices: vertex count before connectivity extraction.
+        rng: the generator's RNG (consumed for weights).
+        weight_dist: name of a weight distribution.
+        name: graph name.
+        connect: extract the largest connected component (default); the
+            paper's graphs are connected, and PLL treats components
+            independently anyway.
+    """
+    builder = GraphBuilder(num_vertices=num_vertices)
+    builder.add_unweighted_edges(edges)
+    unweighted = builder.build(name=name)
+    sampler = make_weight_sampler(weight_dist)
+    # Draw one weight per undirected edge, then mirror to both arcs.
+    m = unweighted.num_edges
+    per_edge = sampler(rng, m)
+    # Edge k in edges() order (u < v) gets per_edge[k]; rebuild with weights.
+    wb = GraphBuilder(num_vertices=unweighted.num_vertices)
+    for k, (u, v, _w) in enumerate(unweighted.edges()):
+        wb.add_edge(u, v, float(per_edge[k]))
+    graph = wb.build(name=name)
+    if connect and graph.num_vertices and not graph.is_connected():
+        graph, _ = largest_connected_component(graph)
+        graph = graph.with_name(name)
+    return graph

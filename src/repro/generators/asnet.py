@@ -1,0 +1,80 @@
+"""Autonomous-system-style topology generator (core–periphery).
+
+AS relationship graphs (the paper's AS-Relation and Skitter datasets)
+have a small densely-meshed core of transit providers, a middle tier
+multi-homed to the core, and a large periphery of stub networks
+single- or dual-homed upward.  Degrees are extremely skewed — exactly
+the long power-law tails in Figure 5's AS panels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.generators._common import assemble
+from repro.graph.csr import CSRGraph
+
+__all__ = ["as_topology"]
+
+
+def as_topology(
+    n: int,
+    core_fraction: float = 0.02,
+    mid_fraction: float = 0.18,
+    seed: int = 0,
+    weight_dist: str = "uniform-int",
+    name: str | None = None,
+) -> CSRGraph:
+    """Three-tier core/mid/stub AS topology.
+
+    Args:
+        n: total vertex count (>= 10).
+        core_fraction: fraction of vertices in the full-mesh-ish core.
+        mid_fraction: fraction in the middle (regional provider) tier.
+        seed: RNG seed.
+        weight_dist: weight distribution name (link latencies).
+        name: graph name.
+    """
+    if n < 10:
+        raise ValueError("n must be >= 10")
+    if core_fraction <= 0 or mid_fraction < 0 or core_fraction + mid_fraction >= 1:
+        raise ValueError("invalid tier fractions")
+    rng = np.random.default_rng(seed)
+    n_core = max(3, int(n * core_fraction))
+    n_mid = max(3, int(n * mid_fraction))
+    n_stub = n - n_core - n_mid
+    core = list(range(n_core))
+    mid = list(range(n_core, n_core + n_mid))
+    stub = list(range(n_core + n_mid, n))
+
+    edges: List[Tuple[int, int]] = []
+    # Core: dense mesh (70 % of pairs peer with each other).
+    for i in range(n_core):
+        for j in range(i + 1, n_core):
+            if rng.random() < 0.7:
+                edges.append((core[i], core[j]))
+    # Ring through the core as a connectivity backstop.
+    for i in range(n_core):
+        edges.append((core[i], core[(i + 1) % n_core]))
+    # Mid tier: 2-4 uplinks into the core, some lateral peering.
+    for v in mid:
+        uplinks = rng.choice(n_core, size=min(n_core, int(rng.integers(2, 5))), replace=False)
+        for u in uplinks:
+            edges.append((int(core[u]), v))
+        if rng.random() < 0.3 and len(mid) > 1:
+            peer = int(rng.choice(mid))
+            if peer != v:
+                edges.append((min(v, peer), max(v, peer)))
+    # Stubs: 1-2 uplinks into the mid tier (degree-proportional-ish:
+    # prefer earlier mid vertices, which already carry more stubs).
+    for v in stub:
+        fanout = 1 if rng.random() < 0.7 else 2
+        for _ in range(fanout):
+            # Zipf-like preference for low-index providers.
+            u = mid[min(n_mid - 1, int(rng.zipf(1.5)) - 1)]
+            edges.append((u, v))
+    return assemble(
+        edges, n, rng, weight_dist, name or f"as-{n}", connect=True
+    )

@@ -1,0 +1,184 @@
+"""Stand-ins for the paper's Table-2 datasets.
+
+The paper evaluates on 11 real SNAP/CAIDA/TIGER graphs.  Those files are
+not redistributable (and this environment has no network), so each
+dataset is replaced by a seeded synthetic graph from the *same family*:
+
+* power-law graphs (Barabási–Albert / Chung–Lu) for the social, P2P,
+  collaboration and email networks,
+* perturbed lattices for the three USA road networks,
+* core–periphery topologies for the two AS graphs,
+
+with attachment parameters chosen to match the paper's m/n density.
+Because pure-Python pruned Dijkstra costs roughly three orders of
+magnitude more per operation than the paper's C++, the default sizes
+are scaled down (see ``default_n`` per dataset; EXPERIMENTS.md records
+paper-scale vs. run-scale).  Pass ``scale`` to :func:`load_dataset` to
+grow or shrink all stand-ins proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.generators.asnet import as_topology
+from repro.generators.powerlaw import barabasi_albert, chung_lu, powerlaw_degrees
+from repro.generators.road import grid_road_network
+from repro.generators.social import community_graph
+from repro.graph.csr import CSRGraph
+from repro.types import DatasetSpec
+
+__all__ = ["DATASETS", "dataset_names", "load_dataset", "DatasetConfig"]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Generator recipe for one Table-2 stand-in.
+
+    Attributes:
+        spec: the paper-reported metadata.
+        default_n: stand-in vertex count at ``scale=1.0``.
+        make: generator function ``(n, seed) -> CSRGraph``.
+    """
+
+    spec: DatasetSpec
+    default_n: int
+    make: Callable[[int, int], CSRGraph]
+
+
+def _ba(m_attach: int) -> Callable[[int, int], CSRGraph]:
+    def make(n: int, seed: int) -> CSRGraph:
+        return barabasi_albert(n, min(m_attach, max(1, n - 1)), seed=seed)
+
+    return make
+
+
+def _cl(exponent: float, min_deg: int, max_deg_frac: float) -> Callable[[int, int], CSRGraph]:
+    def make(n: int, seed: int) -> CSRGraph:
+        degrees = powerlaw_degrees(
+            n, exponent, min_deg, max(min_deg + 1, int(n * max_deg_frac)), seed=seed
+        )
+        return chung_lu(degrees, seed=seed)
+
+    return make
+
+
+def _road(removal: float, diagonal: float) -> Callable[[int, int], CSRGraph]:
+    def make(n: int, seed: int) -> CSRGraph:
+        side = max(2, int(round(np.sqrt(n))))
+        return grid_road_network(
+            side, side, removal_prob=removal, diagonal_prob=diagonal, seed=seed
+        )
+
+    return make
+
+
+def _community(blocks: int, p_in: float, p_out: float) -> Callable[[int, int], CSRGraph]:
+    def make(n: int, seed: int) -> CSRGraph:
+        size = max(2, n // blocks)
+        return community_graph(blocks, size, p_in=p_in, p_out=p_out, seed=seed)
+
+    return make
+
+
+def _asnet(core: float, mid: float) -> Callable[[int, int], CSRGraph]:
+    def make(n: int, seed: int) -> CSRGraph:
+        return as_topology(max(10, n), core_fraction=core, mid_fraction=mid, seed=seed)
+
+    return make
+
+
+#: Registry keyed by the paper's dataset names, in Table-2 order.
+DATASETS: Dict[str, DatasetConfig] = {
+    "Wiki-Vote": DatasetConfig(
+        DatasetSpec("Wiki-Vote", 7_115, 201_524, "Social", "powerlaw-dense"),
+        default_n=400,
+        make=_ba(28),
+    ),
+    "Gnutella": DatasetConfig(
+        DatasetSpec("Gnutella", 10_876, 79_988, "Internet P2P", "powerlaw"),
+        default_n=600,
+        make=_cl(2.3, 3, 0.05),
+    ),
+    "CondMat": DatasetConfig(
+        DatasetSpec("CondMat", 23_133, 186_936, "Collaboration", "community"),
+        default_n=800,
+        make=_community(20, 0.35, 0.0015),
+    ),
+    "DE-USA": DatasetConfig(
+        DatasetSpec("DE-USA", 49_109, 121_024, "Road network", "road"),
+        default_n=1200,
+        make=_road(0.05, 0.12),
+    ),
+    "RI-USA": DatasetConfig(
+        DatasetSpec("RI-USA", 53_658, 137_579, "Road network", "road"),
+        default_n=1300,
+        make=_road(0.04, 0.14),
+    ),
+    "AS-Relation": DatasetConfig(
+        DatasetSpec("AS-Relation", 57_272, 983_610, "Autonomous Systems", "powerlaw-dense"),
+        default_n=1300,
+        make=_ba(17),
+    ),
+    "HI-USA": DatasetConfig(
+        DatasetSpec("HI-USA", 64_892, 152_450, "Road network", "road"),
+        default_n=1400,
+        make=_road(0.06, 0.10),
+    ),
+    "Epinions": DatasetConfig(
+        DatasetSpec("Epinions", 75_879, 811_480, "Social", "powerlaw-dense"),
+        default_n=1500,
+        make=_ba(11),
+    ),
+    "AskUbuntu": DatasetConfig(
+        DatasetSpec("AskUbuntu", 137_517, 508_415, "Social", "powerlaw"),
+        default_n=1600,
+        make=_cl(2.1, 2, 0.08),
+    ),
+    "Skitter": DatasetConfig(
+        DatasetSpec("Skitter", 192_244, 1_218_132, "Autonomous Systems", "powerlaw"),
+        default_n=1800,
+        make=_ba(6),
+    ),
+    "Euall": DatasetConfig(
+        DatasetSpec("Euall", 265_214, 730_051, "Email Communication", "powerlaw"),
+        default_n=2000,
+        make=_cl(2.0, 1, 0.10),
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    """The 11 dataset names in Table-2 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 42) -> CSRGraph:
+    """Generate the stand-in for one Table-2 dataset.
+
+    Args:
+        name: a key of :data:`DATASETS` (paper dataset name).
+        scale: multiplier on the dataset's ``default_n``; e.g. 0.25 for
+            quick tests, 4.0 for a bigger run.
+        seed: RNG seed (the default matches the benchmark harness).
+
+    Returns:
+        A connected weighted graph named after the dataset.
+
+    Raises:
+        KeyError: for unknown dataset names, listing the valid ones.
+    """
+    try:
+        config = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = max(10, int(round(config.default_n * scale)))
+    graph = config.make(n, seed)
+    return graph.with_name(name)

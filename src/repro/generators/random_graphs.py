@@ -1,0 +1,70 @@
+"""Uniform random graphs (G(n, m) and G(n, p)) for tests and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generators._common import assemble
+from repro.graph.csr import CSRGraph
+
+__all__ = ["gnm_random_graph", "gnp_random_graph"]
+
+
+def gnm_random_graph(
+    n: int,
+    m: int,
+    seed: int = 0,
+    weight_dist: str = "uniform-int",
+    connect: bool = True,
+    name: str | None = None,
+) -> CSRGraph:
+    """Erdős–Rényi G(n, m): *m* distinct edges sampled uniformly.
+
+    Args:
+        n: vertex count (before largest-component extraction).
+        m: undirected edge count; capped at ``n (n - 1) / 2``.
+        seed: RNG seed.
+        weight_dist: weight distribution name.
+        connect: keep only the largest connected component.
+        name: graph name (defaults to ``gnm-<n>-<m>``).
+    """
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    max_m = n * (n - 1) // 2
+    m = min(m, max_m)
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < m:
+        batch = rng.integers(0, n, size=(max(64, m - len(edges)), 2))
+        for u, v in batch:
+            if u == v:
+                continue
+            key = (int(min(u, v)), int(max(u, v)))
+            edges.add(key)
+            if len(edges) >= m:
+                break
+    return assemble(
+        edges, n, rng, weight_dist, name or f"gnm-{n}-{m}", connect=connect
+    )
+
+
+def gnp_random_graph(
+    n: int,
+    p: float,
+    seed: int = 0,
+    weight_dist: str = "uniform-int",
+    connect: bool = True,
+    name: str | None = None,
+) -> CSRGraph:
+    """Erdős–Rényi G(n, p): each pair independently an edge with prob. *p*."""
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = []
+    if n > 1 and p > 0:
+        iu, iv = np.triu_indices(n, k=1)
+        mask = rng.random(len(iu)) < p
+        edges = list(zip(iu[mask].tolist(), iv[mask].tolist()))
+    return assemble(
+        edges, n, rng, weight_dist, name or f"gnp-{n}-{p}", connect=connect
+    )

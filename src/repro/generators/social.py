@@ -1,0 +1,114 @@
+"""Small-world and community-structured social-network generators."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.generators._common import assemble
+from repro.graph.csr import CSRGraph
+
+__all__ = ["watts_strogatz", "community_graph"]
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    rewire_prob: float,
+    seed: int = 0,
+    weight_dist: str = "uniform-int",
+    name: str | None = None,
+) -> CSRGraph:
+    """Watts–Strogatz small world: ring lattice with random rewiring.
+
+    Args:
+        n: vertex count.
+        k: each vertex connects to its *k* nearest ring neighbours
+            (rounded down to even).
+        rewire_prob: probability of rewiring each lattice edge's far
+            endpoint to a uniform random vertex.
+        seed: RNG seed.
+        weight_dist: weight distribution name.
+        name: graph name.
+    """
+    if n < 3:
+        raise ValueError("n must be >= 3")
+    k = max(2, (k // 2) * 2)
+    if k >= n:
+        raise ValueError("k must be < n")
+    if not 0 <= rewire_prob <= 1:
+        raise ValueError("rewire_prob out of range")
+    rng = np.random.default_rng(seed)
+    edges: List[Tuple[int, int]] = []
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < rewire_prob:
+                w = int(rng.integers(0, n))
+                # Avoid self loop; duplicates are handled by the builder.
+                if w != u:
+                    v = w
+            edges.append((u, v))
+    return assemble(
+        edges, n, rng, weight_dist, name or f"ws-{n}-{k}", connect=True
+    )
+
+
+def community_graph(
+    communities: int,
+    size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+    weight_dist: str = "uniform-int",
+    name: str | None = None,
+) -> CSRGraph:
+    """Planted-partition graph: dense blocks, sparse inter-block edges.
+
+    Models trust/collaboration networks (Epinions, CondMat stand-ins).
+
+    Args:
+        communities: number of equally sized blocks.
+        size: vertices per block.
+        p_in: intra-block edge probability.
+        p_out: inter-block edge probability (applied per vertex pair to
+            a sampled subset for efficiency).
+        seed: RNG seed.
+        weight_dist: weight distribution name.
+        name: graph name.
+    """
+    if communities < 1 or size < 1:
+        raise ValueError("communities and size must be >= 1")
+    if not (0 <= p_in <= 1 and 0 <= p_out <= 1):
+        raise ValueError("probabilities out of range")
+    n = communities * size
+    rng = np.random.default_rng(seed)
+    edges: List[Tuple[int, int]] = []
+    # Intra-community: dense G(size, p_in) per block.
+    for b in range(communities):
+        base = b * size
+        if size > 1 and p_in > 0:
+            iu, iv = np.triu_indices(size, k=1)
+            mask = rng.random(len(iu)) < p_in
+            for u, v in zip(iu[mask], iv[mask]):
+                edges.append((base + int(u), base + int(v)))
+    # Inter-community: expected p_out * pairs edges, sampled directly.
+    if communities > 1 and p_out > 0:
+        cross_pairs = (n * (n - 1)) // 2 - communities * (size * (size - 1)) // 2
+        want = rng.poisson(p_out * cross_pairs)
+        got = 0
+        while got < want:
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u != v and u // size != v // size:
+                edges.append((min(u, v), max(u, v)))
+                got += 1
+    return assemble(
+        edges,
+        n,
+        rng,
+        weight_dist,
+        name or f"community-{communities}x{size}",
+        connect=True,
+    )

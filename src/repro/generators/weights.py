@@ -1,0 +1,65 @@
+"""Edge-weight distributions for synthetic graphs.
+
+The paper's graphs are "undirected, weighted"; the exact weight model is
+not specified, so we provide the standard choices and make every
+generator accept one by name.  The default (``"uniform-int"``) draws
+integer weights in [1, 10] — typical for road-network and AS-latency
+style evaluations and friendly to exact float comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["make_weight_sampler", "WEIGHT_DISTRIBUTIONS"]
+
+#: A sampler maps (rng, count) to a positive float64 array.
+WeightSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def _uniform_int(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.integers(1, 11, size=count).astype(np.float64)
+
+
+def _uniform_float(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.uniform(0.1, 10.0, size=count)
+
+
+def _exponential(rng: np.random.Generator, count: int) -> np.ndarray:
+    # Shifted to keep weights strictly positive and bounded away from 0.
+    return rng.exponential(scale=2.0, size=count) + 0.05
+
+
+def _unit(rng: np.random.Generator, count: int) -> np.ndarray:
+    return np.ones(count, dtype=np.float64)
+
+
+def _lognormal(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.lognormal(mean=0.5, sigma=0.75, size=count) + 0.01
+
+
+#: Registry of named weight distributions.
+WEIGHT_DISTRIBUTIONS: Dict[str, WeightSampler] = {
+    "uniform-int": _uniform_int,
+    "uniform-float": _uniform_float,
+    "exponential": _exponential,
+    "lognormal": _lognormal,
+    "unit": _unit,
+}
+
+
+def make_weight_sampler(name: str = "uniform-int") -> WeightSampler:
+    """Look up a weight sampler by name.
+
+    Raises:
+        KeyError: for unknown names, listing the valid ones.
+    """
+    try:
+        return WEIGHT_DISTRIBUTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown weight distribution {name!r}; "
+            f"choose from {sorted(WEIGHT_DISTRIBUTIONS)}"
+        ) from None

@@ -1,0 +1,43 @@
+"""Graph substrate: CSR storage, construction, ordering, and utilities.
+
+The whole library works on :class:`~repro.graph.csr.CSRGraph`, an
+immutable undirected weighted graph in compressed-sparse-row form.
+Use :class:`~repro.graph.builder.GraphBuilder` (or the generators in
+:mod:`repro.generators`) to construct one.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import (
+    connected_components,
+    degree_histogram,
+    induced_subgraph,
+    largest_connected_component,
+    relabel,
+)
+from repro.graph.order import (
+    by_approx_betweenness,
+    by_degree,
+    by_random,
+    by_weighted_degree,
+    ordering_rank,
+    validate_ordering,
+)
+from repro.graph.validate import check_graph
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "connected_components",
+    "degree_histogram",
+    "induced_subgraph",
+    "largest_connected_component",
+    "relabel",
+    "by_degree",
+    "by_weighted_degree",
+    "by_approx_betweenness",
+    "by_random",
+    "ordering_rank",
+    "validate_ordering",
+    "check_graph",
+]

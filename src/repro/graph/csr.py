@@ -1,0 +1,258 @@
+"""Compressed-sparse-row storage for undirected weighted graphs.
+
+:class:`CSRGraph` is the single graph representation used throughout the
+library.  It is immutable after construction, stores the adjacency
+structure in three numpy arrays (``indptr``, ``indices``, ``weights``)
+and — because the pruned-Dijkstra inner loop is pure Python — caches a
+list-of-tuples adjacency view that avoids per-visit numpy slicing
+overhead (see the profiling discussion in the HPC guides: scalar numpy
+indexing in a tight loop is far slower than native lists).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable undirected weighted graph in CSR form.
+
+    Vertices are dense integers ``0..n-1``.  Each undirected edge
+    ``{u, v}`` is stored twice (once per direction); ``num_edges``
+    reports the *undirected* count ``len(indices) // 2``.
+
+    Args:
+        indptr: ``int64`` array of length ``n + 1``; neighbours of vertex
+            ``u`` live in ``indices[indptr[u]:indptr[u + 1]]``.
+        indices: ``int32`` array of neighbour vertex ids, sorted
+            ascending within each vertex's slice.
+        weights: ``float64`` array parallel to ``indices`` with strictly
+            positive finite edge weights.
+        name: optional human-readable dataset name.
+
+    Raises:
+        GraphError: if the arrays are inconsistent (wrong lengths,
+            unsorted neighbour slices, non-positive weights, self loops,
+            or asymmetric adjacency).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "name", "_adj", "_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if indptr.ndim != 1 or indices.ndim != 1 or weights.ndim != 1:
+            raise GraphError("indptr, indices and weights must be 1-D arrays")
+        if len(indptr) == 0:
+            raise GraphError("indptr must have length n + 1 >= 1")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise GraphError(
+                "indptr must start at 0 and end at len(indices) "
+                f"(got {indptr[0]}..{indptr[-1]} for {len(indices)} arcs)"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if len(indices) != len(weights):
+            raise GraphError("indices and weights must have equal length")
+        if len(indices) % 2 != 0:
+            raise GraphError("undirected graph must store an even number of arcs")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("neighbour index out of range")
+        if len(weights) and (not np.all(np.isfinite(weights)) or weights.min() <= 0):
+            raise GraphError("edge weights must be positive and finite")
+
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.name = name
+        self._adj: Optional[List[List[Tuple[int, float]]]] = None
+        self._degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *undirected* edges ``m``."""
+        return len(self.indices) // 2
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (``2 m``)."""
+        return len(self.indices)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-vertex degree array (``int64``, cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    def degree(self, u: int) -> int:
+        """Degree of vertex *u*."""
+        self._check_vertex(u)
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Adjacency access
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbour ids of *u* as a numpy view (sorted ascending)."""
+        self._check_vertex(u)
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """Edge weights parallel to :meth:`neighbors`."""
+        self._check_vertex(u)
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate undirected edges once each as ``(u, v, w)`` with ``u < v``."""
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        for u in range(self.num_vertices):
+            for k in range(indptr[u], indptr[u + 1]):
+                v = int(indices[k])
+                if u < v:
+                    yield u, v, float(weights[k])
+
+    def adjacency_lists(self) -> List[List[Tuple[int, float]]]:
+        """List-of-``(neighbour, weight)`` adjacency, cached.
+
+        This is the representation used by the pure-Python shortest-path
+        inner loops: iterating a native list of tuples is several times
+        faster than repeatedly slicing and scalar-indexing numpy arrays.
+        The cache is built once (O(m)) and shared by all algorithms.
+        """
+        if self._adj is None:
+            indptr = self.indptr
+            nbr = self.indices.tolist()
+            wts = self.weights.tolist()
+            adj: List[List[Tuple[int, float]]] = []
+            for u in range(self.num_vertices):
+                lo, hi = int(indptr[u]), int(indptr[u + 1])
+                adj.append(list(zip(nbr[lo:hi], wts[lo:hi])))
+            self._adj = adj
+        return self._adj
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``.
+
+        Raises:
+            GraphError: if the edge does not exist.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+        k = lo + int(np.searchsorted(self.indices[lo:hi], v))
+        if k < hi and self.indices[k] == v:
+            return float(self.weights[k])
+        raise GraphError(f"no edge between {u} and {v}")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` exists."""
+        try:
+            self.edge_weight(u, v)
+            return True
+        except GraphError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Whole-graph helpers
+    # ------------------------------------------------------------------
+    def total_weight(self) -> float:
+        """Sum of undirected edge weights."""
+        return float(self.weights.sum()) / 2.0
+
+    def is_connected(self) -> bool:
+        """Whether the graph has a single connected component.
+
+        The empty graph is considered connected.
+        """
+        n = self.num_vertices
+        if n <= 1:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        indptr, indices = self.indptr, self.indices
+        while stack:
+            u = stack.pop()
+            for k in range(indptr[u], indptr[u + 1]):
+                v = int(indices[k])
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == n
+
+    def with_name(self, name: str) -> "CSRGraph":
+        """A shallow copy of this graph under a different name."""
+        g = CSRGraph(self.indptr, self.indices, self.weights, name=name)
+        g._adj = self._adj
+        g._degrees = self._degrees
+        return g
+
+    def reweighted(self, weights: Sequence[float]) -> "CSRGraph":
+        """A copy of this graph with new per-arc weights.
+
+        Args:
+            weights: array of length ``num_arcs``; both directions of an
+                undirected edge must carry the same value.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if len(w) != self.num_arcs:
+            raise GraphError("weights length must equal num_arcs")
+        return CSRGraph(self.indptr, self.indices, w, name=self.name)
+
+    def unit_weighted(self) -> "CSRGraph":
+        """A copy of this graph with all weights set to 1 (for BFS tests)."""
+        return self.reweighted(np.ones(self.num_arcs))
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < self.num_vertices:
+            raise GraphError(
+                f"vertex {u} out of range [0, {self.num_vertices})"
+            )
+
+    # ------------------------------------------------------------------
+    # Equality / hashing: value semantics on the structure.
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable caches inside

@@ -1,0 +1,129 @@
+"""Whole-graph operations: components, subgraphs, relabeling, histograms.
+
+These are the housekeeping operations the benchmark pipeline needs:
+the paper indexes connected real-world graphs, so generators extract the
+largest connected component; vertex orderings are applied by relabeling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "connected_components",
+    "largest_connected_component",
+    "induced_subgraph",
+    "relabel",
+    "degree_histogram",
+]
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label each vertex with its connected-component id.
+
+    Component ids are dense, assigned in order of first discovery
+    (vertex 0's component is id 0).
+
+    Returns:
+        ``int64`` array of length ``n`` with the component id per vertex.
+    """
+    n = graph.num_vertices
+    comp = np.full(n, -1, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    next_id = 0
+    for s in range(n):
+        if comp[s] != -1:
+            continue
+        comp[s] = next_id
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for k in range(indptr[u], indptr[u + 1]):
+                v = int(indices[k])
+                if comp[v] == -1:
+                    comp[v] = next_id
+                    stack.append(v)
+        next_id += 1
+    return comp
+
+
+def largest_connected_component(graph: CSRGraph) -> Tuple[CSRGraph, np.ndarray]:
+    """Extract the largest connected component as its own graph.
+
+    Returns:
+        ``(subgraph, vertex_map)`` where ``vertex_map[i]`` is the original
+        id of the subgraph's vertex ``i``.  Ties between equally large
+        components break toward the one discovered first.
+    """
+    comp = connected_components(graph)
+    if len(comp) == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    counts = np.bincount(comp)
+    target = int(counts.argmax())
+    keep = np.flatnonzero(comp == target)
+    return induced_subgraph(graph, keep), keep
+
+
+def induced_subgraph(graph: CSRGraph, vertices: Sequence[int]) -> CSRGraph:
+    """The subgraph induced by *vertices*, relabeled to ``0..k-1``.
+
+    Args:
+        vertices: distinct original vertex ids; subgraph vertex ``i``
+            corresponds to ``vertices[i]``.
+
+    Raises:
+        GraphError: on duplicate or out-of-range ids.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    n = graph.num_vertices
+    if len(vertices) and (vertices.min() < 0 or vertices.max() >= n):
+        raise GraphError("subgraph vertex id out of range")
+    if len(np.unique(vertices)) != len(vertices):
+        raise GraphError("duplicate vertex ids in subgraph selection")
+    new_id = np.full(n, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(len(vertices))
+    b = GraphBuilder(num_vertices=len(vertices))
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    for old_u in vertices:
+        u = int(new_id[old_u])
+        for k in range(indptr[old_u], indptr[old_u + 1]):
+            old_v = int(indices[k])
+            v = int(new_id[old_v])
+            if v >= 0 and u < v:
+                b.add_edge(u, v, float(weights[k]))
+    return b.build(name=f"{graph.name}-sub{len(vertices)}")
+
+
+def relabel(graph: CSRGraph, new_ids: Sequence[int]) -> CSRGraph:
+    """Permute vertex ids: output vertex ``new_ids[u]`` is input vertex ``u``.
+
+    Args:
+        new_ids: a permutation of ``0..n-1``.
+
+    Raises:
+        GraphError: if *new_ids* is not a permutation.
+    """
+    new_ids = np.asarray(new_ids, dtype=np.int64)
+    n = graph.num_vertices
+    if len(new_ids) != n or not np.array_equal(np.sort(new_ids), np.arange(n)):
+        raise GraphError("new_ids must be a permutation of 0..n-1")
+    b = GraphBuilder(num_vertices=n)
+    for u, v, w in graph.edges():
+        b.add_edge(int(new_ids[u]), int(new_ids[v]), w)
+    return b.build(name=graph.name)
+
+
+def degree_histogram(graph: CSRGraph) -> Dict[int, int]:
+    """Map ``degree -> number of vertices with that degree`` (Figure 5 data)."""
+    degs = graph.degrees
+    hist: Dict[int, int] = {}
+    if len(degs):
+        values, counts = np.unique(degs, return_counts=True)
+        hist = {int(d): int(c) for d, c in zip(values, counts)}
+    return hist

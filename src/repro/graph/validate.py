@@ -1,0 +1,61 @@
+"""Structural invariant checks for CSR graphs.
+
+:func:`check_graph` performs the full battery of consistency checks.
+The :class:`~repro.graph.csr.CSRGraph` constructor already validates the
+cheap invariants; this module adds the O(m log m) symmetry check and is
+used by tests and by loaders of untrusted input files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["check_graph"]
+
+
+def check_graph(graph: CSRGraph) -> None:
+    """Verify all structural invariants of an undirected CSR graph.
+
+    Checks performed:
+
+    * neighbour slices sorted strictly ascending (also rules out
+      duplicate edges),
+    * no self loops,
+    * adjacency symmetry: arc ``(u, v, w)`` implies arc ``(v, u, w)``.
+
+    Raises:
+        GraphError: describing the first violated invariant.
+    """
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    n = graph.num_vertices
+
+    for u in range(n):
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        sl = indices[lo:hi]
+        if len(sl) > 1 and np.any(np.diff(sl) <= 0):
+            raise GraphError(
+                f"neighbour list of vertex {u} not strictly ascending"
+            )
+        if len(sl) and np.any(sl == u):
+            raise GraphError(f"self loop on vertex {u}")
+
+    # Symmetry: the multiset of (min, max, w) triples must appear exactly
+    # twice as directed arcs.
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    lo_v = np.minimum(src, indices)
+    hi_v = np.maximum(src, indices)
+    key = np.stack([lo_v, hi_v], axis=1)
+    order = np.lexsort((hi_v, lo_v))
+    key_sorted = key[order]
+    w_sorted = weights[order]
+    if len(key_sorted) % 2 != 0:
+        raise GraphError("odd number of directed arcs")
+    a = key_sorted[0::2]
+    b = key_sorted[1::2]
+    if not np.array_equal(a, b):
+        raise GraphError("adjacency is not symmetric")
+    if not np.array_equal(w_sorted[0::2], w_sorted[1::2]):
+        raise GraphError("edge weights are not symmetric")

@@ -1,0 +1,24 @@
+"""Graph file I/O: SNAP-style edge lists and DIMACS ``.gr`` road format.
+
+The paper's datasets come as SNAP edge lists (social/P2P/AS graphs) and
+DIMACS challenge files (TIGER road networks); these readers let a user
+who *does* have the original files run the reproduction on them
+directly.  Writers exist so generated stand-ins can be cached and
+shared.
+"""
+
+from repro.io.dimacs import read_dimacs, write_dimacs
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.metis import read_metis, write_metis
+from repro.io.npz import load_graph_npz, save_graph_npz
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_dimacs",
+    "read_metis",
+    "write_metis",
+    "write_dimacs",
+    "load_graph_npz",
+    "save_graph_npz",
+]

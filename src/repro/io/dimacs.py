@@ -1,0 +1,120 @@
+"""DIMACS shortest-path challenge ``.gr`` format (TIGER road networks).
+
+The 9th DIMACS Implementation Challenge distributes the USA road
+networks the paper uses (DE/RI/HI-USA) in this format::
+
+    c comment
+    p sp <n> <m>
+    a <u> <v> <w>      (1-based vertex ids, one line per directed arc)
+
+Road files list both arc directions; the reader folds them into one
+undirected edge (keeping the smaller weight if they disagree, as is
+conventional for these files).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, TextIO, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_dimacs", "write_dimacs"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_maybe(path: PathOrFile, mode: str):
+    if hasattr(path, "read") or hasattr(path, "write"):
+        return path, False
+    return open(path, mode, encoding="utf-8"), True
+
+
+def read_dimacs(path: PathOrFile, name: Optional[str] = None) -> CSRGraph:
+    """Parse a DIMACS ``.gr`` file into an undirected weighted graph.
+
+    Raises:
+        GraphFormatError: on a missing/duplicate problem line, arcs
+            before the problem line, out-of-range vertex ids, or
+            malformed records.
+    """
+    handle, should_close = _open_maybe(path, "r")
+    builder: Optional[GraphBuilder] = None
+    declared_arcs = 0
+    seen_arcs = 0
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if builder is not None:
+                    raise GraphFormatError(f"line {lineno}: duplicate problem line")
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphFormatError(
+                        f"line {lineno}: expected 'p sp <n> <m>', got {line!r}"
+                    )
+                n = int(parts[2])
+                declared_arcs = int(parts[3])
+                builder = GraphBuilder(num_vertices=n, on_duplicate="min")
+            elif parts[0] == "a":
+                if builder is None:
+                    raise GraphFormatError(
+                        f"line {lineno}: arc before problem line"
+                    )
+                if len(parts) != 4:
+                    raise GraphFormatError(
+                        f"line {lineno}: expected 'a <u> <v> <w>'"
+                    )
+                try:
+                    u = int(parts[1]) - 1
+                    v = int(parts[2]) - 1
+                    w = float(parts[3])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"line {lineno}: non-numeric field ({exc})"
+                    ) from None
+                if u == v:
+                    continue
+                try:
+                    builder.add_edge(u, v, w)
+                except Exception as exc:
+                    raise GraphFormatError(f"line {lineno}: {exc}") from None
+                seen_arcs += 1
+            else:
+                raise GraphFormatError(
+                    f"line {lineno}: unknown record type {parts[0]!r}"
+                )
+    finally:
+        if should_close:
+            handle.close()
+    if builder is None:
+        raise GraphFormatError("missing problem line ('p sp n m')")
+    if declared_arcs and seen_arcs > declared_arcs:
+        raise GraphFormatError(
+            f"file declares {declared_arcs} arcs but contains {seen_arcs}"
+        )
+    graph_name = name
+    if graph_name is None:
+        graph_name = (
+            os.path.basename(str(path)) if not hasattr(path, "read") else "dimacs"
+        )
+    return builder.build(name=graph_name)
+
+
+def write_dimacs(graph: CSRGraph, path: PathOrFile) -> None:
+    """Write a graph in DIMACS ``.gr`` form (both arc directions)."""
+    handle, should_close = _open_maybe(path, "w")
+    try:
+        handle.write(f"c {graph.name}\n")
+        handle.write(f"p sp {graph.num_vertices} {graph.num_arcs}\n")
+        for u, v, w in graph.edges():
+            wtxt = str(int(w)) if w == int(w) else repr(w)
+            handle.write(f"a {u + 1} {v + 1} {wtxt}\n")
+            handle.write(f"a {v + 1} {u + 1} {wtxt}\n")
+    finally:
+        if should_close:
+            handle.close()

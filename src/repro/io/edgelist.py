@@ -1,0 +1,111 @@
+"""SNAP-style whitespace edge lists.
+
+Format: one edge per line, ``u v`` or ``u v w``; lines starting with
+``#`` or ``%`` are comments.  Vertex ids may be arbitrary non-negative
+integers (SNAP files are sparse in id space); they are densified to
+``0..n-1`` in first-appearance order, and the mapping is returned so
+callers can translate query results back.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, TextIO, Tuple, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_maybe(path: PathOrFile, mode: str):
+    if hasattr(path, "read") or hasattr(path, "write"):
+        return path, False
+    return open(path, mode, encoding="utf-8"), True
+
+
+def read_edgelist(
+    path: PathOrFile,
+    default_weight: float = 1.0,
+    name: Optional[str] = None,
+) -> Tuple[CSRGraph, Dict[int, int]]:
+    """Parse a (possibly weighted) SNAP edge list.
+
+    Args:
+        path: file path or open text handle.
+        default_weight: weight for 2-column lines.
+        name: graph name (defaults to the file's basename).
+
+    Returns:
+        ``(graph, id_map)`` where ``id_map`` maps original vertex ids to
+        the dense ids used by the graph.
+
+    Raises:
+        GraphFormatError: on malformed lines (wrong column count,
+            non-numeric fields, negative ids, non-positive weights).
+    """
+    handle, should_close = _open_maybe(path, "r")
+    ids: Dict[int, int] = {}
+    builder = GraphBuilder()
+
+    def dense(orig: int) -> int:
+        got = ids.get(orig)
+        if got is None:
+            got = len(ids)
+            ids[orig] = got
+        return got
+
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"line {lineno}: expected 2 or 3 columns, got {len(parts)}"
+                )
+            try:
+                u = int(parts[0])
+                v = int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else default_weight
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: non-numeric field ({exc})"
+                ) from None
+            if u < 0 or v < 0:
+                raise GraphFormatError(f"line {lineno}: negative vertex id")
+            if u == v:
+                continue  # SNAP files contain self loops; drop them
+            try:
+                builder.add_edge(dense(u), dense(v), w)
+            except Exception as exc:
+                raise GraphFormatError(f"line {lineno}: {exc}") from None
+    finally:
+        if should_close:
+            handle.close()
+
+    graph_name = name
+    if graph_name is None:
+        graph_name = (
+            os.path.basename(str(path)) if not hasattr(path, "read") else "edgelist"
+        )
+    return builder.build(name=graph_name), ids
+
+
+def write_edgelist(graph: CSRGraph, path: PathOrFile) -> None:
+    """Write a graph as a weighted edge list (one ``u v w`` line per edge)."""
+    handle, should_close = _open_maybe(path, "w")
+    try:
+        handle.write(f"# {graph.name}: n={graph.num_vertices} m={graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            if w == int(w):
+                handle.write(f"{u} {v} {int(w)}\n")
+            else:
+                handle.write(f"{u} {v} {w!r}\n")
+    finally:
+        if should_close:
+            handle.close()

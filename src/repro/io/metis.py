@@ -1,0 +1,133 @@
+"""METIS graph format (the partitioner-ecosystem interchange format).
+
+Format (weighted-edge variant, fmt code ``1``)::
+
+    % comments
+    <n> <m> 1
+    <nbr> <w> <nbr> <w> ...     (line i+1 lists vertex i's neighbours,
+                                 1-based ids, each undirected edge
+                                 appearing on both endpoint lines)
+
+Useful for moving graphs between this library and graph partitioners
+(a natural companion to the cluster substrate: partition-aware task
+assignment is an obvious follow-up to the paper's round-robin split).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, TextIO, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_metis", "write_metis"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_maybe(path: PathOrFile, mode: str):
+    if hasattr(path, "read") or hasattr(path, "write"):
+        return path, False
+    return open(path, mode, encoding="utf-8"), True
+
+
+def read_metis(path: PathOrFile, name: Optional[str] = None) -> CSRGraph:
+    """Parse a METIS file (plain or edge-weighted ``fmt=1``).
+
+    Raises:
+        GraphFormatError: on malformed headers, id ranges, or an
+            adjacency-line count that disagrees with the header.
+    """
+    handle, should_close = _open_maybe(path, "r")
+    try:
+        header = None
+        adjacency_lines = []
+        for line in handle:
+            line = line.strip()
+            if line.startswith("%"):
+                continue
+            if header is None:
+                if not line:
+                    continue
+                header = line.split()
+            else:
+                # Blank lines are meaningful here: an isolated vertex
+                # has an empty adjacency line.
+                adjacency_lines.append(line)
+        if header is None:
+            raise GraphFormatError("missing METIS header line")
+        if len(header) not in (2, 3):
+            raise GraphFormatError(
+                f"header must be '<n> <m> [fmt]', got {header}"
+            )
+        n = int(header[0])
+        declared_m = int(header[1])
+        fmt = header[2] if len(header) == 3 else "0"
+        if fmt not in ("0", "1"):
+            raise GraphFormatError(
+                f"unsupported METIS fmt {fmt!r} (only 0 and 1)"
+            )
+        weighted = fmt == "1"
+        if len(adjacency_lines) > n:
+            raise GraphFormatError(
+                f"{len(adjacency_lines)} adjacency lines for n={n}"
+            )
+        builder = GraphBuilder(num_vertices=n, on_duplicate="first")
+        for u, line in enumerate(adjacency_lines):
+            fields = line.split()
+            step = 2 if weighted else 1
+            if len(fields) % step != 0:
+                raise GraphFormatError(
+                    f"vertex {u + 1}: odd field count in weighted adjacency"
+                )
+            for k in range(0, len(fields), step):
+                try:
+                    v = int(fields[k]) - 1
+                    w = float(fields[k + 1]) if weighted else 1.0
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"vertex {u + 1}: non-numeric field ({exc})"
+                    ) from None
+                if not 0 <= v < n:
+                    raise GraphFormatError(
+                        f"vertex {u + 1}: neighbour {v + 1} out of range"
+                    )
+                if v == u:
+                    continue
+                builder.add_edge(u, v, w)
+        graph_name = name
+        if graph_name is None:
+            graph_name = (
+                os.path.basename(str(path))
+                if not hasattr(path, "read")
+                else "metis"
+            )
+        graph = builder.build(name=graph_name)
+        if graph.num_edges != declared_m:
+            raise GraphFormatError(
+                f"header declares {declared_m} edges, file contains "
+                f"{graph.num_edges}"
+            )
+        return graph
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_metis(graph: CSRGraph, path: PathOrFile) -> None:
+    """Write a graph in edge-weighted METIS form (``fmt=1``)."""
+    handle, should_close = _open_maybe(path, "w")
+    try:
+        handle.write(f"% {graph.name}\n")
+        handle.write(f"{graph.num_vertices} {graph.num_edges} 1\n")
+        for u in range(graph.num_vertices):
+            parts = []
+            for v, w in zip(graph.neighbors(u), graph.neighbor_weights(u)):
+                wtxt = str(int(w)) if w == int(w) else repr(float(w))
+                parts.append(f"{int(v) + 1} {wtxt}")
+            handle.write(" ".join(parts) + "\n")
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,48 @@
+"""Fast binary graph persistence via ``numpy.savez``.
+
+Used by the benchmark harness to cache generated stand-in graphs so a
+sweep over thread counts re-loads the identical graph instead of
+re-generating it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_graph_npz", "load_graph_npz"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_graph_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Serialise a graph's CSR arrays (and name) to an ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+        name=np.array(graph.name),
+    )
+
+
+def load_graph_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved with :func:`save_graph_npz`.
+
+    Raises:
+        GraphFormatError: if the file lacks the expected arrays.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            indptr = data["indptr"]
+            indices = data["indices"]
+            weights = data["weights"]
+        except KeyError as exc:
+            raise GraphFormatError(f"not a graph npz file: missing {exc}") from None
+        name = str(data["name"]) if "name" in data else "graph"
+    return CSRGraph(indptr, indices, weights, name=name)

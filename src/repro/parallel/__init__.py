@@ -1,0 +1,27 @@
+"""Intra-node ParaPLL: task assignment policies and the thread pool.
+
+* :mod:`repro.parallel.task_manager` — the paper's task manager with
+  **static** (round-robin pre-assignment, §4.3) and **dynamic** (shared
+  work queue, §4.4 / Algorithm 2) policies.
+* :mod:`repro.parallel.threads` — a real ``threading``-based ParaPLL.
+  Because of CPython's GIL this demonstrates *correctness* of the
+  concurrent design, not wall-clock speedup; the speedup experiments run
+  on the deterministic simulator in :mod:`repro.sim`, which shares the
+  same task-manager code.
+"""
+
+from repro.parallel.task_manager import (
+    DynamicAssignment,
+    StaticAssignment,
+    TaskAssignment,
+    make_assignment,
+)
+from repro.parallel.threads import build_parallel_threads
+
+__all__ = [
+    "TaskAssignment",
+    "StaticAssignment",
+    "DynamicAssignment",
+    "make_assignment",
+    "build_parallel_threads",
+]

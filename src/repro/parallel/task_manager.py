@@ -1,0 +1,154 @@
+"""The ParaPLL task manager: static and dynamic assignment policies.
+
+The task manager hands degree-ordered root vertices to workers:
+
+* **Static** (paper §4.3, Figure 2): vertices are dealt round-robin to
+  the *p* workers before indexing starts; worker *k* processes
+  ``order[k], order[k + p], order[k + 2p], ...`` in sequence.
+* **Dynamic** (paper §4.4, Figure 3, Algorithm 2): a single shared
+  queue; whichever worker becomes free takes the highest-ranked
+  unindexed vertex.  A lock makes the take atomic.
+
+Both policies are exposed through one tiny interface so the thread
+pool, the discrete-event simulator, and the cluster substrate share the
+assignment logic — the paper's point that only the *assignment policy*
+differs between configurations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Protocol, Sequence
+
+from repro.errors import TaskError
+
+__all__ = [
+    "TaskAssignment",
+    "StaticAssignment",
+    "DynamicAssignment",
+    "make_assignment",
+]
+
+
+class TaskAssignment(Protocol):
+    """Hands out root vertices to workers."""
+
+    num_workers: int
+
+    def next_task(self, worker: int) -> Optional[int]:
+        """The next root for *worker*, or ``None`` when it has no more work."""
+
+    def remaining(self) -> int:
+        """How many tasks have not yet been handed out."""
+
+
+class StaticAssignment:
+    """Round-robin pre-assignment (the paper's static policy).
+
+    Args:
+        order: vertex ordering, most important first.
+        num_workers: number of workers ``p``.
+    """
+
+    def __init__(self, order: Sequence[int], num_workers: int) -> None:
+        if num_workers < 1:
+            raise TaskError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._queues: List[List[int]] = [[] for _ in range(num_workers)]
+        for i, v in enumerate(order):
+            self._queues[i % num_workers].append(int(v))
+        # Position cursor per worker; a lock is unnecessary because each
+        # worker only touches its own cursor, but we keep one for the
+        # remaining() aggregate used by monitors.
+        self._cursors = [0] * num_workers
+        self._lock = threading.Lock()
+
+    def next_task(self, worker: int) -> Optional[int]:
+        """Next pre-assigned root for *worker* (``None`` when exhausted)."""
+        if not 0 <= worker < self.num_workers:
+            raise TaskError(f"worker {worker} out of range")
+        cursor = self._cursors[worker]
+        queue = self._queues[worker]
+        if cursor >= len(queue):
+            return None
+        self._cursors[worker] = cursor + 1
+        return queue[cursor]
+
+    def remaining(self) -> int:
+        """Tasks not yet handed out, across all workers."""
+        with self._lock:
+            return sum(
+                len(q) - c for q, c in zip(self._queues, self._cursors)
+            )
+
+    def assigned_to(self, worker: int) -> List[int]:
+        """The full static task list of *worker* (for tests/inspection)."""
+        if not 0 <= worker < self.num_workers:
+            raise TaskError(f"worker {worker} out of range")
+        return list(self._queues[worker])
+
+
+class DynamicAssignment:
+    """Shared work queue (the paper's dynamic policy, Algorithm 2).
+
+    Any free worker takes the next vertex; the lock reproduces
+    Algorithm 2's ``Lock(Q) / Dequeue / Unlock(Q)`` critical section.
+
+    Args:
+        order: vertex ordering, most important first.
+        num_workers: number of workers ``p`` (recorded for symmetry with
+            the static policy; any worker id is accepted).
+        chunk: how many vertices a worker takes per grab.  The paper
+            uses 1; larger chunks trade queue contention against
+            assignment quality (an ablation knob).
+    """
+
+    def __init__(
+        self, order: Sequence[int], num_workers: int, chunk: int = 1
+    ) -> None:
+        if num_workers < 1:
+            raise TaskError("num_workers must be >= 1")
+        if chunk < 1:
+            raise TaskError("chunk must be >= 1")
+        self.num_workers = num_workers
+        self.chunk = chunk
+        self._order = [int(v) for v in order]
+        self._next = 0
+        self._lock = threading.Lock()
+        self._buffers: dict[int, List[int]] = {}
+
+    def next_task(self, worker: int) -> Optional[int]:
+        """Take the highest-ranked unindexed vertex (``None`` when done)."""
+        buffer = self._buffers.get(worker)
+        if buffer:
+            return buffer.pop(0)
+        with self._lock:
+            if self._next >= len(self._order):
+                return None
+            lo = self._next
+            hi = min(lo + self.chunk, len(self._order))
+            self._next = hi
+        taken = self._order[lo:hi]
+        if len(taken) > 1:
+            self._buffers[worker] = taken[1:]
+        return taken[0]
+
+    def remaining(self) -> int:
+        """Tasks still in the shared queue (excluding worker buffers)."""
+        with self._lock:
+            return len(self._order) - self._next
+
+
+def make_assignment(
+    policy: str, order: Sequence[int], num_workers: int, chunk: int = 1
+) -> TaskAssignment:
+    """Factory: ``"static"`` or ``"dynamic"`` assignment over *order*.
+
+    Raises:
+        TaskError: for unknown policy names.
+    """
+    if policy == "static":
+        return StaticAssignment(order, num_workers)
+    if policy == "dynamic":
+        return DynamicAssignment(order, num_workers, chunk=chunk)
+    raise TaskError(f"unknown assignment policy {policy!r} (static|dynamic)")

@@ -1,0 +1,104 @@
+"""Thread-based intra-node ParaPLL (the paper's shared-memory model).
+
+Each worker thread owns its own :class:`~repro.core.pruned_dijkstra.
+PrunedDijkstra` engine (private scratch arrays) and pulls roots from a
+shared :class:`~repro.parallel.task_manager.TaskAssignment`.  Labels
+live in one shared :class:`~repro.core.labels.LabelStore`: reads
+(pruning) are lock-free; commits happen under a single lock, exactly
+Algorithm 2's semaphore.  The commit ordering inside
+:meth:`LabelStore.add` (distance before hub) makes the lock-free reads
+safe under CPython's GIL.
+
+Because of the GIL, this implementation demonstrates ParaPLL's
+*correctness under concurrency* (Proposition 1) rather than wall-clock
+speedup; speedup numbers come from :mod:`repro.sim`, which executes the
+same policies deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.index import PLLIndex
+from repro.core.labels import LabelStore
+from repro.errors import TaskError
+from repro.graph.csr import CSRGraph
+from repro.graph.order import by_degree
+from repro.parallel.task_manager import make_assignment
+from repro.types import IndexStats
+
+__all__ = ["build_parallel_threads"]
+
+
+def build_parallel_threads(
+    graph: CSRGraph,
+    num_threads: int,
+    policy: str = "dynamic",
+    order: Optional[Sequence[int]] = None,
+    chunk: int = 1,
+    engine: str = "dijkstra",
+) -> PLLIndex:
+    """Build a PLL index with *num_threads* concurrent worker threads.
+
+    Args:
+        graph: the graph to index.
+        num_threads: worker count ``p`` (>= 1).
+        policy: ``"static"`` or ``"dynamic"`` task assignment.
+        order: vertex ordering (defaults to descending degree).
+        chunk: dynamic-policy grab size (ignored for static).
+        engine: ``"dijkstra"`` (weighted, the paper's Algorithm 1) or
+            ``"bfs"`` (unweighted hop counts).
+
+    Returns:
+        A finalized :class:`~repro.core.index.PLLIndex`.  Queries are
+        exact (Proposition 1) even though the label set may contain
+        redundant entries relative to a serial build.
+
+    Raises:
+        TaskError: for invalid thread counts or policies.
+    """
+    if num_threads < 1:
+        raise TaskError("num_threads must be >= 1")
+    if order is None:
+        order = by_degree(graph)
+    assignment = make_assignment(policy, order, num_threads, chunk=chunk)
+    store = LabelStore(graph.num_vertices)
+    commit_lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def worker(worker_id: int) -> None:
+        from repro.core.engines import make_engine
+
+        search = make_engine(engine, graph, order)
+        try:
+            while True:
+                root = assignment.next_task(worker_id)
+                if root is None:
+                    return
+                delta = search.run(root, store)
+                root_rank = search.rank_of(root)
+                with commit_lock:
+                    store.add_delta(
+                        (v, root_rank, d) for v, d in delta
+                    )
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, args=(k,), name=f"parapll-{k}")
+        for k in range(num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+
+    store.finalize()
+    stats = IndexStats.from_sizes(store.label_sizes(), elapsed)
+    return PLLIndex(store, order, graph=graph, stats=stats)

@@ -1,0 +1,36 @@
+"""Priority queues for Dijkstra-family algorithms.
+
+Three interchangeable implementations of the same minimal protocol
+(:class:`~repro.pq.base.PriorityQueue`):
+
+* :class:`~repro.pq.binary_heap.AddressableBinaryHeap` — array-based
+  binary heap with position tracking and true ``decrease_key``.
+* :class:`~repro.pq.pairing_heap.PairingHeap` — pointer-based pairing
+  heap with O(1) amortised ``decrease_key``.
+* :class:`~repro.pq.simple.LazyHeapPQ` — the stdlib ``heapq`` with lazy
+  deletion; no explicit decrease-key, stale entries are skipped on pop.
+
+The paper's Algorithm 1 only needs insert/delete-min (it re-inserts on
+relaxation, i.e. the lazy strategy); the addressable heaps exist for the
+ablation study of priority-queue choice (DESIGN.md §5).
+"""
+
+from repro.pq.base import PriorityQueue
+from repro.pq.binary_heap import AddressableBinaryHeap
+from repro.pq.pairing_heap import PairingHeap
+from repro.pq.simple import LazyHeapPQ
+
+#: Registry of priority-queue implementations by name (used by ablations).
+PQ_IMPLEMENTATIONS = {
+    "binary": AddressableBinaryHeap,
+    "pairing": PairingHeap,
+    "lazy": LazyHeapPQ,
+}
+
+__all__ = [
+    "PriorityQueue",
+    "AddressableBinaryHeap",
+    "PairingHeap",
+    "LazyHeapPQ",
+    "PQ_IMPLEMENTATIONS",
+]

@@ -1,0 +1,35 @@
+"""The priority-queue protocol shared by all implementations.
+
+Items are non-negative integers (vertex ids); keys are floats
+(tentative distances).  ``push`` doubles as decrease-key: pushing an
+item that is already present with a larger key lowers its key
+(addressable heaps) or enqueues a fresher entry (lazy heap).  Pushing
+with a key that is *not* smaller than the current one is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple, runtime_checkable
+
+__all__ = ["PriorityQueue"]
+
+
+@runtime_checkable
+class PriorityQueue(Protocol):
+    """Minimal min-priority-queue protocol for Dijkstra-style searches."""
+
+    def push(self, item: int, key: float) -> None:
+        """Insert *item* with *key*, or decrease its key if already present."""
+
+    def pop_min(self) -> Tuple[float, int]:
+        """Remove and return the ``(key, item)`` pair with the smallest key.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+
+    def __len__(self) -> int:
+        """Number of live items in the queue."""
+
+    def __bool__(self) -> bool:
+        """Whether any live item remains."""

@@ -1,0 +1,136 @@
+"""Pointer-based pairing heap with O(1) amortised ``decrease_key``.
+
+The pairing heap is the classic "theoretically nice" Dijkstra queue.
+Nodes are small ``__slots__`` objects linked in a left-child /
+right-sibling representation; ``pop_min`` performs the standard two-pass
+pairing of the root's children.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PairingHeap"]
+
+
+class _Node:
+    __slots__ = ("key", "item", "child", "sibling", "parent")
+
+    def __init__(self, key: float, item: int) -> None:
+        self.key = key
+        self.item = item
+        self.child: Optional[_Node] = None
+        self.sibling: Optional[_Node] = None
+        self.parent: Optional[_Node] = None
+
+
+def _link(a: _Node, b: _Node) -> _Node:
+    """Make the larger-keyed root a child of the smaller-keyed one."""
+    if b.key < a.key:
+        a, b = b, a
+    b.parent = a
+    b.sibling = a.child
+    a.child = b
+    return a
+
+
+class PairingHeap:
+    """Pairing min-heap over integer items.
+
+    Implements the :class:`~repro.pq.base.PriorityQueue` protocol.
+    """
+
+    __slots__ = ("_root", "_nodes")
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._nodes: Dict[int, _Node] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._nodes
+
+    def key_of(self, item: int) -> float:
+        """Current key of *item* (raises ``KeyError`` if absent)."""
+        return self._nodes[item].key
+
+    # ------------------------------------------------------------------
+    def push(self, item: int, key: float) -> None:
+        """Insert *item*, or decrease its key; larger keys are ignored."""
+        node = self._nodes.get(item)
+        if node is None:
+            node = _Node(key, item)
+            self._nodes[item] = node
+            self._root = node if self._root is None else _link(self._root, node)
+        elif key < node.key:
+            self._decrease(node, key)
+
+    def pop_min(self) -> Tuple[float, int]:
+        """Remove and return the smallest ``(key, item)``."""
+        root = self._root
+        if root is None:
+            raise IndexError("pop from empty heap")
+        del self._nodes[root.item]
+        self._root = self._merge_pairs(root.child)
+        if self._root is not None:
+            self._root.parent = None
+            self._root.sibling = None
+        return root.key, root.item
+
+    def peek(self) -> Tuple[float, int]:
+        """The smallest ``(key, item)`` without removing it."""
+        if self._root is None:
+            raise IndexError("peek into empty heap")
+        return self._root.key, self._root.item
+
+    # ------------------------------------------------------------------
+    def _decrease(self, node: _Node, key: float) -> None:
+        node.key = key
+        if node is self._root:
+            return
+        # Detach node from its parent's child list.
+        parent = node.parent
+        assert parent is not None
+        if parent.child is node:
+            parent.child = node.sibling
+        else:
+            prev = parent.child
+            while prev is not None and prev.sibling is not node:
+                prev = prev.sibling
+            assert prev is not None
+            prev.sibling = node.sibling
+        node.parent = None
+        node.sibling = None
+        assert self._root is not None
+        self._root = _link(self._root, node)
+
+    @staticmethod
+    def _merge_pairs(first: Optional[_Node]) -> Optional[_Node]:
+        """Two-pass pairing of a sibling list; iterative to avoid recursion."""
+        if first is None:
+            return None
+        # Pass 1: link siblings pairwise left to right.
+        pairs: List[_Node] = []
+        node: Optional[_Node] = first
+        while node is not None:
+            a = node
+            b = node.sibling
+            node = b.sibling if b is not None else None
+            a.sibling = None
+            a.parent = None
+            if b is not None:
+                b.sibling = None
+                b.parent = None
+                pairs.append(_link(a, b))
+            else:
+                pairs.append(a)
+        # Pass 2: fold right to left.
+        result = pairs.pop()
+        while pairs:
+            result = _link(pairs.pop(), result)
+        return result

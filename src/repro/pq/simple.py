@@ -1,0 +1,72 @@
+"""Lazy-deletion priority queue over the stdlib ``heapq``.
+
+This is the queue the hot paths actually use: ``heapq`` is implemented
+in C, so despite leaving stale entries in the heap it is usually the
+fastest option in CPython.  ``push`` records the best-known key per item
+in a side dict; ``pop_min`` discards entries whose key is staler than
+that record.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+__all__ = ["LazyHeapPQ"]
+
+
+class LazyHeapPQ:
+    """``heapq`` with lazy deletion.
+
+    Implements the :class:`~repro.pq.base.PriorityQueue` protocol.
+    ``__len__`` reports *live* items (not stale heap entries), so the
+    three implementations are observationally identical.
+    """
+
+    __slots__ = ("_heap", "_best")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int]] = []
+        self._best: Dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __bool__(self) -> bool:
+        return bool(self._best)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._best
+
+    def key_of(self, item: int) -> float:
+        """Best known key of *item* (raises ``KeyError`` if absent)."""
+        return self._best[item]
+
+    def push(self, item: int, key: float) -> None:
+        """Insert *item*, or decrease its key; larger keys are ignored."""
+        current = self._best.get(item)
+        if current is None or key < current:
+            self._best[item] = key
+            heapq.heappush(self._heap, (key, item))
+
+    def pop_min(self) -> Tuple[float, int]:
+        """Remove and return the smallest live ``(key, item)``."""
+        heap = self._heap
+        best = self._best
+        while heap:
+            key, item = heapq.heappop(heap)
+            if best.get(item) == key:
+                del best[item]
+                return key, item
+        raise IndexError("pop from empty heap")
+
+    def peek(self) -> Tuple[float, int]:
+        """The smallest live ``(key, item)`` without removing it."""
+        heap = self._heap
+        best = self._best
+        while heap:
+            key, item = heap[0]
+            if best.get(item) == key:
+                return key, item
+            heapq.heappop(heap)
+        raise IndexError("peek into empty heap")

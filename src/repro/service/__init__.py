@@ -1,0 +1,21 @@
+"""Query serving: the paper's "module for context-aware search".
+
+The introduction motivates low-latency distance queries as a backend
+module for search systems.  This package is that module:
+
+* :class:`~repro.service.oracle.DistanceOracle` — an in-process serving
+  facade over a :class:`~repro.core.index.PLLIndex`: LRU-cached point
+  queries, batch queries, kNN, and request statistics.
+* :mod:`repro.service.server` — a line-delimited-JSON TCP server and
+  client exposing the oracle over a socket, for out-of-process callers.
+"""
+
+from repro.service.oracle import DistanceOracle, OracleStats
+from repro.service.server import DistanceClient, DistanceServer
+
+__all__ = [
+    "DistanceOracle",
+    "OracleStats",
+    "DistanceServer",
+    "DistanceClient",
+]

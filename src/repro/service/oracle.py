@@ -1,0 +1,126 @@
+"""The in-process distance-serving facade.
+
+:class:`DistanceOracle` wraps a built index with the conveniences a
+search backend needs: an LRU cache over point queries (search traffic
+is heavily repeated — the same influencer pairs recur), batch and kNN
+entry points, and counters for observability.  Thread-safe: a lock
+guards the cache; the underlying finalized index is read-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.knn import KNNIndex
+from repro.errors import GraphError
+
+__all__ = ["DistanceOracle", "OracleStats"]
+
+
+@dataclass
+class OracleStats:
+    """Request counters.
+
+    Attributes:
+        queries: point-distance requests served.
+        cache_hits: requests answered from the LRU cache.
+        batch_queries: batch requests served.
+        knn_queries: k-nearest requests served.
+        path_queries: path-reconstruction requests served.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    batch_queries: int = 0
+    knn_queries: int = 0
+    path_queries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction of point queries (0 when none served)."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+class DistanceOracle:
+    """Serving facade over a finalized PLL index.
+
+    Args:
+        index: a built :class:`~repro.core.index.PLLIndex`.
+        cache_size: LRU capacity for point queries (0 disables caching).
+        build_knn: build the inverted-label kNN structure eagerly;
+            otherwise it is built lazily on the first kNN request.
+    """
+
+    def __init__(
+        self, index, cache_size: int = 4096, build_knn: bool = False
+    ) -> None:
+        if cache_size < 0:
+            raise GraphError("cache_size must be non-negative")
+        self.index = index
+        self.cache_size = cache_size
+        self.stats = OracleStats()
+        self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._knn: Optional[KNNIndex] = (
+            KNNIndex(index.store) if build_knn else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of queryable vertices."""
+        return self.index.num_vertices
+
+    def distance(self, s: int, t: int) -> float:
+        """Cached exact distance between *s* and *t*."""
+        key = (s, t) if s <= t else (t, s)
+        with self._lock:
+            self.stats.queries += 1
+            if self.cache_size:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    return cached
+        value = self.index.distance(s, t)
+        if self.cache_size:
+            with self._lock:
+                self._cache[key] = value
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return value
+
+    def batch(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Distances for many ``(s, t)`` pairs."""
+        with self._lock:
+            self.stats.batch_queries += 1
+        return [self.distance(int(s), int(t)) for s, t in pairs]
+
+    def k_nearest(self, s: int, k: int) -> List[Tuple[int, float]]:
+        """The *k* nearest vertices to *s* (exact, via inverted labels)."""
+        with self._lock:
+            self.stats.knn_queries += 1
+            if self._knn is None:
+                self._knn = KNNIndex(self.index.store)
+            knn = self._knn
+        return knn.k_nearest(s, k)
+
+    def shortest_path(self, s: int, t: int) -> Optional[List[int]]:
+        """One shortest path (needs the index's attached graph)."""
+        with self._lock:
+            self.stats.path_queries += 1
+        return self.index.shortest_path(s, t)
+
+    def cache_info(self) -> Tuple[int, int]:
+        """``(entries, capacity)`` of the LRU cache."""
+        with self._lock:
+            return len(self._cache), self.cache_size
+
+    def clear_cache(self) -> None:
+        """Drop all cached distances (e.g. after an index swap)."""
+        with self._lock:
+            self._cache.clear()

@@ -1,0 +1,211 @@
+"""Line-delimited-JSON TCP serving of a distance oracle.
+
+Protocol: one JSON object per line in each direction.
+
+Requests::
+
+    {"op": "distance", "s": 3, "t": 42}
+    {"op": "batch", "pairs": [[0, 1], [2, 3]]}
+    {"op": "knn", "s": 3, "k": 5}
+    {"op": "path", "s": 3, "t": 42}
+    {"op": "stats"}
+    {"op": "ping"}
+
+Responses carry ``{"ok": true, ...result fields}`` or
+``{"ok": false, "error": "..."}``.  Unreachable distances are encoded
+as the string ``"inf"`` (JSON has no infinity).
+
+The server is a stdlib ``ThreadingTCPServer``; one thread per
+connection, the oracle itself is thread-safe.  Intended for trusted
+local/internal callers (no authentication), like any sidecar cache.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.service.oracle import DistanceOracle
+
+__all__ = ["DistanceServer", "DistanceClient"]
+
+
+def _encode(value: float) -> Any:
+    return "inf" if value == math.inf else value
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via client
+        oracle: DistanceOracle = self.server.oracle  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                response = _dispatch(oracle, json.loads(line))
+            except ReproError as exc:
+                response = {"ok": False, "error": str(exc)}
+            except (ValueError, KeyError, TypeError) as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            self.wfile.write(json.dumps(response).encode() + b"\n")
+            self.wfile.flush()
+
+
+def _dispatch(oracle: DistanceOracle, req: Dict[str, Any]) -> Dict[str, Any]:
+    op = req.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "distance":
+        d = oracle.distance(int(req["s"]), int(req["t"]))
+        return {"ok": True, "distance": _encode(d)}
+    if op == "batch":
+        pairs = [(int(a), int(b)) for a, b in req["pairs"]]
+        return {
+            "ok": True,
+            "distances": [_encode(d) for d in oracle.batch(pairs)],
+        }
+    if op == "knn":
+        out = oracle.k_nearest(int(req["s"]), int(req["k"]))
+        return {"ok": True, "neighbors": [[v, d] for v, d in out]}
+    if op == "path":
+        path = oracle.shortest_path(int(req["s"]), int(req["t"]))
+        return {"ok": True, "path": path}
+    if op == "stats":
+        s = oracle.stats
+        return {
+            "ok": True,
+            "queries": s.queries,
+            "cache_hits": s.cache_hits,
+            "hit_rate": s.hit_rate,
+            "knn_queries": s.knn_queries,
+        }
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class DistanceServer:
+    """A threaded TCP server around a :class:`DistanceOracle`.
+
+    Args:
+        oracle: the oracle to serve.
+        host: bind address (default loopback).
+        port: bind port; 0 picks a free one (read :attr:`port` after
+            :meth:`start`).
+
+    Use as a context manager::
+
+        with DistanceServer(oracle) as server:
+            client = DistanceClient("127.0.0.1", server.port)
+            ...
+    """
+
+    def __init__(
+        self, oracle: DistanceOracle, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._tcp = socketserver.ThreadingTCPServer(
+            (host, port), _Handler, bind_and_activate=True
+        )
+        self._tcp.daemon_threads = True
+        self._tcp.oracle = oracle  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return self._tcp.server_address[1]
+
+    def start(self) -> "DistanceServer":
+        """Start serving on a background thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "DistanceServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+class DistanceClient:
+    """Blocking client for :class:`DistanceServer`.
+
+    Args:
+        host: server address.
+        port: server port.
+        timeout: socket timeout, seconds.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(json.dumps(request).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ReproError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ReproError(response.get("error", "unknown server error"))
+        return response
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance (``math.inf`` when unreachable)."""
+        d = self._call({"op": "distance", "s": s, "t": t})["distance"]
+        return math.inf if d == "inf" else float(d)
+
+    def batch(self, pairs: List[Tuple[int, int]]) -> List[float]:
+        """Distances for many pairs."""
+        out = self._call({"op": "batch", "pairs": [list(p) for p in pairs]})
+        return [
+            math.inf if d == "inf" else float(d) for d in out["distances"]
+        ]
+
+    def k_nearest(self, s: int, k: int) -> List[Tuple[int, float]]:
+        """The k nearest vertices to *s*."""
+        out = self._call({"op": "knn", "s": s, "k": k})
+        return [(int(v), float(d)) for v, d in out["neighbors"]]
+
+    def shortest_path(self, s: int, t: int) -> Optional[List[int]]:
+        """One shortest path, or ``None`` when unreachable."""
+        return self._call({"op": "path", "s": s, "t": t})["path"]
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-side request counters."""
+        out = self._call({"op": "stats"})
+        out.pop("ok", None)
+        return out
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DistanceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation of parallel ParaPLL execution.
+
+This package is the substitute for the paper's 12-core Xeon and
+6-node cluster (see DESIGN.md §2): the host running this reproduction
+has a single CPU core and a GIL, so wall-clock parallel speedups are
+physically unobservable.  Instead, the simulator
+
+1. executes the *real* pruned-Dijkstra searches (the same code the
+   serial builder uses) with the label visibility each virtual worker
+   would actually have had under the chosen schedule, and
+2. charges each search its measured operation counts through a
+   calibrated linear cost model, scheduling tasks onto virtual workers
+   to obtain a makespan.
+
+Nothing about the headline quantities — speedup curves, label-size
+growth with parallelism, static-vs-dynamic gaps, the synchronisation
+frequency tradeoff — is hard-coded; they all emerge from the schedule
+and the pruning dynamics.
+"""
+
+from repro.sim.costmodel import CostModel, calibrate_cost_model
+from repro.sim.executor import simulate_intra_node
+from repro.sim.metrics import speedup_table
+
+__all__ = [
+    "CostModel",
+    "calibrate_cost_model",
+    "simulate_intra_node",
+    "speedup_table",
+]

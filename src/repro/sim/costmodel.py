@@ -1,0 +1,120 @@
+"""Linear operation-count cost model for simulated execution time.
+
+A pruned-Dijkstra search reports its operation counters in a
+:class:`~repro.types.SearchStats`; the cost model maps those to
+abstract *work units* and, after calibration against one measured
+serial build, to seconds.  Only the *relative* weights matter for
+speedup shapes; calibration fixes the absolute scale so simulated
+"IT(s)" columns are comparable with the measured serial column.
+
+The default weights approximate the relative costs of the operations in
+the C++ implementation the paper used (heap operations carry the
+``log n`` factor explicitly, as in the paper's complexity analysis
+O(w m log^2 n + w^2 n log^2 n)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.types import SearchStats
+
+__all__ = ["CostModel", "calibrate_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights of the linear cost model, in work units per operation.
+
+    Attributes:
+        per_heap_op: cost of one push or pop, multiplied by
+            ``log2(max(n, 2))`` of the indexed graph.
+        per_relaxation: cost of scanning one incident edge.
+        per_scan: cost of reading one label entry in a pruning query.
+        per_settle: fixed cost of dequeuing and prune-testing a vertex.
+        per_label_commit: cost of appending one label entry while
+            holding the shared commit lock (drives contention for small
+            graphs / many threads).
+        task_overhead: fixed units per task grab (queue + dispatch).
+        seconds_per_unit: calibration constant mapping units to seconds.
+        n: vertex count the log factor is evaluated at.
+    """
+
+    per_heap_op: float = 1.0
+    per_relaxation: float = 0.7
+    per_scan: float = 0.45
+    per_settle: float = 1.0
+    per_label_commit: float = 1.2
+    task_overhead: float = 25.0
+    seconds_per_unit: float = 1.0
+    n: int = 2
+
+    def search_units(self, stats: SearchStats) -> float:
+        """Work units of one root search, excluding commit and overhead."""
+        log_n = math.log2(max(self.n, 2))
+        return (
+            self.per_heap_op * (stats.heap_pushes + stats.heap_pops) * log_n
+            + self.per_relaxation * stats.relaxations
+            + self.per_scan * stats.query_entries_scanned
+            + self.per_settle * stats.settled
+        )
+
+    def commit_units(self, labels_added: int) -> float:
+        """Work units of committing one delta under the shared lock."""
+        return self.per_label_commit * labels_added
+
+    def task_units(self, stats: SearchStats) -> float:
+        """Total per-task units: overhead + search + commit."""
+        return (
+            self.task_overhead
+            + self.search_units(stats)
+            + self.commit_units(stats.labels_added)
+        )
+
+    def seconds(self, units: float) -> float:
+        """Convert work units to simulated seconds."""
+        return units * self.seconds_per_unit
+
+    def for_graph(self, n: int) -> "CostModel":
+        """This model with the heap log-factor evaluated at *n* vertices."""
+        if n < 0:
+            raise SimulationError("n must be non-negative")
+        return replace(self, n=max(n, 2))
+
+    def calibrated(self, seconds_per_unit: float) -> "CostModel":
+        """This model with a new unit-to-seconds constant."""
+        if seconds_per_unit <= 0:
+            raise SimulationError("seconds_per_unit must be positive")
+        return replace(self, seconds_per_unit=seconds_per_unit)
+
+
+def calibrate_cost_model(
+    per_root: Iterable[SearchStats],
+    measured_seconds: float,
+    n: int,
+    base: CostModel | None = None,
+) -> CostModel:
+    """Fit ``seconds_per_unit`` so a serial run's units equal its wall time.
+
+    Args:
+        per_root: the serial build's per-root statistics.
+        measured_seconds: the serial build's measured wall-clock seconds.
+        n: vertex count of the graph (for the heap log factor).
+        base: weight set to calibrate (defaults to :class:`CostModel`).
+
+    Returns:
+        A calibrated :class:`CostModel` bound to *n*.
+
+    Raises:
+        SimulationError: if the run has no work or non-positive time.
+    """
+    if measured_seconds <= 0:
+        raise SimulationError("measured_seconds must be positive")
+    model = (base or CostModel()).for_graph(n)
+    total_units = sum(model.task_units(s) for s in per_root)
+    if total_units <= 0:
+        raise SimulationError("cannot calibrate against an empty run")
+    return model.calibrated(measured_seconds / total_units)

@@ -1,0 +1,80 @@
+"""Derived metrics for simulated runs: speedups and time breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import SimulationError
+from repro.types import ParallelRunResult
+
+__all__ = ["speedup_table", "SpeedupRow", "time_breakdown"]
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One dataset row of a Table-3/4/5-style speedup table.
+
+    Attributes:
+        name: dataset name.
+        baseline_seconds: the 1-worker reference indexing time.
+        seconds: indexing time per worker count, aligned with ``workers``.
+        speedups: ``baseline_seconds / seconds`` per worker count.
+        label_sizes: average label size (LN) per worker count.
+        workers: the worker counts the other lists are aligned to.
+    """
+
+    name: str
+    baseline_seconds: float
+    workers: List[int]
+    seconds: List[float]
+    speedups: List[float]
+    label_sizes: List[float]
+
+
+def speedup_table(
+    name: str,
+    workers: Sequence[int],
+    results: Sequence[ParallelRunResult],
+) -> SpeedupRow:
+    """Assemble one speedup row from per-worker-count run results.
+
+    The first entry of *workers*/*results* is the baseline (typically 1).
+
+    Raises:
+        SimulationError: on length mismatch or an empty result list.
+    """
+    if len(workers) != len(results) or not results:
+        raise SimulationError("workers and results must align and be non-empty")
+    baseline = results[0].makespan
+    if baseline <= 0:
+        raise SimulationError("baseline makespan must be positive")
+    seconds = [r.makespan for r in results]
+    return SpeedupRow(
+        name=name,
+        baseline_seconds=baseline,
+        workers=list(workers),
+        seconds=seconds,
+        speedups=[baseline / s if s > 0 else float("inf") for s in seconds],
+        label_sizes=[r.index_stats.avg_label_size for r in results],
+    )
+
+
+def time_breakdown(result: ParallelRunResult) -> Dict[str, float]:
+    """Split a run into computation vs. communication shares.
+
+    Returns:
+        dict with ``makespan``, ``computation``, ``communication`` and
+        ``communication_fraction`` (of makespan; 0 when makespan is 0).
+    """
+    frac = (
+        result.communication_time / result.makespan
+        if result.makespan > 0
+        else 0.0
+    )
+    return {
+        "makespan": result.makespan,
+        "computation": result.computation_time,
+        "communication": result.communication_time,
+        "communication_fraction": frac,
+    }

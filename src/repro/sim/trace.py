@@ -1,0 +1,128 @@
+"""Schedule traces: Gantt rendering and utilisation analysis.
+
+The simulator optionally records ``(worker, root, start, finish)``
+tuples (``record_schedule=True``).  This module turns those into
+human-readable ASCII Gantt charts and utilisation summaries — the
+tooling used to diagnose why a static schedule loses to a dynamic one
+(idle tails, slow workers) in the scaling example and in EXPERIMENTS.md
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["ScheduleTrace", "gantt_ascii"]
+
+Event = Tuple[int, int, float, float]  # (worker, root, start, finish)
+
+
+@dataclass
+class ScheduleTrace:
+    """Analysed view of one recorded schedule.
+
+    Attributes:
+        num_workers: worker count inferred from the events.
+        makespan: latest finish time.
+        busy: per-worker busy seconds.
+        idle: per-worker idle seconds (makespan minus busy).
+        utilisation: per-worker busy / makespan.
+        tasks_per_worker: number of tasks each worker executed.
+    """
+
+    num_workers: int
+    makespan: float
+    busy: List[float]
+    idle: List[float]
+    utilisation: List[float]
+    tasks_per_worker: List[int]
+
+    @classmethod
+    def from_events(cls, events: Sequence[Event]) -> "ScheduleTrace":
+        """Build a trace from recorded schedule events.
+
+        Raises:
+            SimulationError: for an empty schedule or negative spans.
+        """
+        if not events:
+            raise SimulationError("cannot analyse an empty schedule")
+        num_workers = max(w for w, _r, _s, _f in events) + 1
+        makespan = max(f for _w, _r, _s, f in events)
+        busy = [0.0] * num_workers
+        tasks = [0] * num_workers
+        for w, _root, start, finish in events:
+            if finish < start:
+                raise SimulationError(
+                    f"event on worker {w} finishes before it starts"
+                )
+            busy[w] += finish - start
+            tasks[w] += 1
+        idle = [max(0.0, makespan - b) for b in busy]
+        util = [b / makespan if makespan > 0 else 0.0 for b in busy]
+        return cls(
+            num_workers=num_workers,
+            makespan=makespan,
+            busy=busy,
+            idle=idle,
+            utilisation=util,
+            tasks_per_worker=tasks,
+        )
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Average busy fraction across workers."""
+        return sum(self.utilisation) / self.num_workers
+
+    def summary(self) -> str:
+        """A one-block human-readable summary."""
+        lines = [
+            f"makespan {self.makespan:.3f}s, "
+            f"mean utilisation {self.mean_utilisation:.0%}"
+        ]
+        for w in range(self.num_workers):
+            lines.append(
+                f"  worker {w}: {self.tasks_per_worker[w]:4d} tasks, "
+                f"busy {self.busy[w]:.3f}s ({self.utilisation[w]:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def gantt_ascii(
+    events: Sequence[Event], width: int = 72, max_workers: int = 16
+) -> str:
+    """Render a schedule as an ASCII Gantt chart (one row per worker).
+
+    Busy spans are drawn with ``#``; the number of distinct tasks in a
+    cell is not distinguishable at terminal resolution, so alternating
+    tasks are drawn ``#``/``=`` to make boundaries visible.
+
+    Args:
+        events: recorded ``(worker, root, start, finish)`` tuples.
+        width: chart width in characters.
+        max_workers: truncate charts beyond this many rows.
+    """
+    trace = ScheduleTrace.from_events(events)
+    makespan = trace.makespan or 1.0
+    rows: Dict[int, List[str]] = {
+        w: [" "] * width for w in range(min(trace.num_workers, max_workers))
+    }
+    fills = "#="
+    counters = {w: 0 for w in rows}
+    for w, _root, start, finish in sorted(events, key=lambda e: e[2]):
+        if w not in rows:
+            continue
+        lo = int(start / makespan * (width - 1))
+        hi = max(lo + 1, int(finish / makespan * (width - 1)) + 1)
+        mark = fills[counters[w] % 2]
+        counters[w] += 1
+        for col in range(lo, min(hi, width)):
+            rows[w][col] = mark
+    lines = [f"0{' ' * (width - 10)}{makespan:9.3f}s"]
+    for w in sorted(rows):
+        lines.append(f"w{w:<2}|{''.join(rows[w])}|")
+    if trace.num_workers > max_workers:
+        lines.append(f"... ({trace.num_workers - max_workers} more workers)")
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""End-to-end validators for 2-hop-cover indexes.
+
+Three levels of checking, from cheap to exhaustive:
+
+1. :func:`check_label_soundness` — every stored entry ``(h, d)`` in
+   ``L(v)`` satisfies ``d == dist(h, v)`` exactly.  Parallel builds may
+   add *redundant* entries but never *wrong* ones (Proposition 1); this
+   is the invariant that makes that true.
+2. :func:`check_cover` — for every (sampled) pair, QUERY over the
+   labels equals the true distance, i.e. the label set is a complete
+   2-hop cover.
+3. :func:`check_canonical` — for a *serial* build only: the label set
+   is canonical (no entry can be removed), i.e. for every entry
+   ``(h, v)`` no earlier hub already covers the pair.  Parallel builds
+   legitimately fail this check; the amount by which they fail is
+   exactly the paper's redundancy.
+
+All functions raise :class:`~repro.errors.ReproError` subclasses with a
+precise description of the first violation, and return counters for
+reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.labels import LabelStore
+from repro.core.query import query_distance
+from repro.errors import IndexError_
+from repro.graph.csr import CSRGraph
+from repro.types import INF
+
+__all__ = [
+    "ValidationReport",
+    "check_label_soundness",
+    "check_cover",
+    "check_canonical",
+    "validate_index",
+]
+
+
+@dataclass
+class ValidationReport:
+    """Counters from one validation pass.
+
+    Attributes:
+        entries_checked: label entries whose distance was verified.
+        pairs_checked: (s, t) pairs whose query was verified.
+        redundant_entries: entries a serial build would not contain
+            (only counted by :func:`check_canonical` with
+            ``strict=False``).
+    """
+
+    entries_checked: int = 0
+    pairs_checked: int = 0
+    redundant_entries: int = 0
+
+
+def check_label_soundness(
+    graph: CSRGraph,
+    store: LabelStore,
+    order: Sequence[int],
+    vertices: Optional[Sequence[int]] = None,
+) -> ValidationReport:
+    """Verify every label entry stores the exact hub-to-vertex distance.
+
+    Args:
+        graph: the indexed graph.
+        store: the label store (finalized or not).
+        order: the vertex ordering (hub ranks refer to it).
+        vertices: which hubs to verify (default: every vertex that
+            appears as a hub).  One Dijkstra per verified hub.
+
+    Raises:
+        IndexError_: on the first entry whose distance is wrong.
+    """
+    report = ValidationReport()
+    hubs_used = set()
+    for v in range(store.n):
+        hubs_used.update(store.hubs_of(v))
+    targets = (
+        set(int(order[h]) for h in hubs_used)
+        if vertices is None
+        else set(int(v) for v in vertices)
+    )
+    rank_of_vertex = {int(u): r for r, u in enumerate(order)}
+    for hub_vertex in sorted(targets):
+        truth = dijkstra_sssp(graph, hub_vertex)
+        hub_rank = rank_of_vertex[hub_vertex]
+        for v in range(store.n):
+            hubs = store.hubs_of(v)
+            dists = store.dists_of(v)
+            for i in range(len(hubs)):
+                if hubs[i] != hub_rank:
+                    continue
+                report.entries_checked += 1
+                if dists[i] != truth[v]:
+                    raise IndexError_(
+                        f"label entry L({v}) hub {hub_vertex} stores "
+                        f"{dists[i]}, true distance is {truth[v]}"
+                    )
+    return report
+
+
+def check_cover(
+    graph: CSRGraph,
+    store: LabelStore,
+    sources: Optional[Sequence[int]] = None,
+) -> ValidationReport:
+    """Verify QUERY equals Dijkstra for all pairs from given sources.
+
+    Args:
+        sources: source vertices to check exhaustively against every
+            target (default: every vertex — O(n) Dijkstras).
+
+    Raises:
+        IndexError_: on the first mismatching pair.
+    """
+    store.finalize()
+    report = ValidationReport()
+    srcs = range(graph.num_vertices) if sources is None else sources
+    for s in srcs:
+        s = int(s)
+        truth = dijkstra_sssp(graph, s)
+        for t in range(graph.num_vertices):
+            got = query_distance(store, s, t)
+            report.pairs_checked += 1
+            if got != truth[t]:
+                raise IndexError_(
+                    f"QUERY({s}, {t}) = {got}, Dijkstra says {truth[t]}"
+                )
+    return report
+
+
+def check_canonical(
+    graph: CSRGraph,
+    store: LabelStore,
+    order: Sequence[int],
+    strict: bool = True,
+) -> ValidationReport:
+    """Check label minimality: no entry is covered by earlier hubs.
+
+    An entry ``(h, v)`` is *redundant* when QUERY over hubs with rank
+    strictly below ``rank(h)`` already yields ``dist(h, v)`` — the
+    pruned search from ``h`` would have pruned ``v`` had it seen those
+    labels, which is exactly what serial PLL guarantees.
+
+    Args:
+        strict: raise on the first redundant entry (default); with
+            ``False``, count them instead (useful for measuring a
+            parallel build's redundancy).
+
+    Raises:
+        IndexError_: in strict mode, on the first redundant entry.
+    """
+    store.finalize()
+    report = ValidationReport()
+    n = store.n
+    # tmp[hub_rank] = distance from the entry's hub to candidate mid-hubs.
+    for v in range(n):
+        hubs_v = store.finalized_hubs(v)
+        dists_v = store.finalized_dists(v)
+        for i in range(len(hubs_v)):
+            h_rank = int(hubs_v[i])
+            d = float(dists_v[i])
+            report.entries_checked += 1
+            hub_vertex = int(order[h_rank])
+            if hub_vertex == v:
+                continue  # the self entry is always canonical
+            # QUERY(hub_vertex, v) restricted to ranks < h_rank.
+            hubs_h = store.finalized_hubs(hub_vertex)
+            dists_h = store.finalized_dists(hub_vertex)
+            best = INF
+            j = k = 0
+            while j < len(hubs_h) and k < len(hubs_v):
+                a, b = hubs_h[j], hubs_v[k]
+                if a >= h_rank or b >= h_rank:
+                    break
+                if a == b:
+                    total = dists_h[j] + dists_v[k]
+                    if total < best:
+                        best = total
+                    j += 1
+                    k += 1
+                elif a < b:
+                    j += 1
+                else:
+                    k += 1
+            if best <= d:
+                if strict:
+                    raise IndexError_(
+                        f"redundant label: L({v}) entry (hub {hub_vertex}, "
+                        f"{d}) is covered at distance {best}"
+                    )
+                report.redundant_entries += 1
+    return report
+
+
+def validate_index(index, sources: Optional[Sequence[int]] = None) -> ValidationReport:
+    """Convenience: soundness + cover for a PLLIndex with attached graph.
+
+    Raises:
+        IndexError_: if the index has no graph or any check fails.
+    """
+    if index.graph is None:
+        raise IndexError_("index has no attached graph to validate against")
+    report = check_cover(index.graph, index.store, sources=sources)
+    sound = check_label_soundness(
+        index.graph,
+        index.store,
+        index.order,
+        vertices=[int(index.order[0])],
+    )
+    report.entries_checked = sound.entries_checked
+    return report

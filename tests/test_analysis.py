@@ -1,0 +1,78 @@
+"""Tests for the Proposition-2 efficiency-loss analysis."""
+
+import pytest
+
+from repro.analysis import (
+    efficiency_loss_study,
+    measured_redundancy,
+    proposition2_bound,
+)
+from repro.errors import SimulationError
+from repro.graph.order import by_degree
+
+
+class TestBound:
+    def test_serial_has_zero_bound(self, random_graph):
+        order = by_degree(random_graph)
+        assert proposition2_bound(random_graph, order, 1) == 0.0
+
+    def test_bound_monotone_in_workers(self, random_graph):
+        order = by_degree(random_graph)
+        bounds = [
+            proposition2_bound(random_graph, order, p) for p in (1, 2, 4, 8)
+        ]
+        for a, b in zip(bounds, bounds[1:]):
+            assert b >= a
+
+    def test_bound_normalised(self, random_graph):
+        order = by_degree(random_graph)
+        b = proposition2_bound(random_graph, order, 4)
+        assert 0.0 <= b <= 1.0
+
+    def test_invalid_workers(self, random_graph):
+        with pytest.raises(SimulationError):
+            proposition2_bound(random_graph, by_degree(random_graph), 0)
+
+    def test_psi_descending_order_minimises_bound(self, random_graph):
+        """The ψ-descending sequence has the smallest windowed gaps."""
+        from repro.graph.centrality import by_exact_betweenness
+        from repro.graph.order import by_random
+
+        good = proposition2_bound(
+            random_graph, by_exact_betweenness(random_graph), 4
+        )
+        import numpy as np
+
+        # Compare against the mean of a few random orders.
+        rnd = np.mean(
+            [
+                proposition2_bound(
+                    random_graph, by_random(random_graph, seed=s), 4
+                )
+                for s in range(3)
+            ]
+        )
+        assert good <= rnd
+
+
+class TestMeasured:
+    def test_serial_no_redundancy(self, random_graph):
+        assert measured_redundancy(random_graph, 1) == 0.0
+
+    def test_parallel_nonnegative(self, random_graph):
+        r = measured_redundancy(random_graph, 6, seed=1)
+        assert r >= 0.0
+
+
+class TestStudy:
+    def test_study_shapes(self, random_graph):
+        report = efficiency_loss_study(
+            random_graph, workers=(1, 2, 4), seed=0
+        )
+        assert report.workers == [1, 2, 4]
+        assert report.bounds[0] == 0.0
+        assert report.redundancy[0] == 0.0
+        assert len(report.bounds) == len(report.redundancy) == 3
+        # Both grow (weakly) with parallelism.
+        assert report.bounds[-1] >= report.bounds[0]
+        assert report.redundancy[-1] >= report.redundancy[0]

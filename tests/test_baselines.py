@@ -1,0 +1,197 @@
+"""Tests for the baseline shortest-path algorithms.
+
+Dijkstra and Floyd–Warshall are independent implementations; they check
+each other, and everything else checks against them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.apsp import APSPIndex, floyd_warshall
+from repro.baselines.bfs import bfs_distances, bfs_pair
+from repro.baselines.bidirectional import bidirectional_dijkstra
+from repro.baselines.dijkstra import (
+    dijkstra_pair,
+    dijkstra_sssp,
+    reconstruct_path,
+    shortest_path_tree,
+)
+from repro.errors import GraphError, NotIndexedError
+from repro.pq import PQ_IMPLEMENTATIONS
+
+from .conftest import build_graph
+
+INF = math.inf
+
+
+class TestDijkstraSSSP:
+    def test_path_graph(self, path_graph):
+        assert dijkstra_sssp(path_graph, 0) == [0.0, 1.0, 3.0, 6.0]
+
+    def test_triangle_detour(self, triangle):
+        # Direct 0-2 costs 5; via 1 costs 2.
+        assert dijkstra_sssp(triangle, 0)[2] == 2.0
+
+    def test_unreachable(self, two_components):
+        dist = dijkstra_sssp(two_components, 0)
+        assert dist[1] == 1.0
+        assert dist[2] == INF
+        assert dist[4] == INF
+
+    def test_source_is_zero(self, random_graph):
+        assert dijkstra_sssp(random_graph, 5)[5] == 0.0
+
+    def test_symmetric(self, random_graph):
+        d0 = dijkstra_sssp(random_graph, 0)
+        for t in range(random_graph.num_vertices):
+            assert dijkstra_sssp(random_graph, t)[0] == d0[t]
+
+    def test_invalid_source(self, path_graph):
+        with pytest.raises(GraphError):
+            dijkstra_sssp(path_graph, 100)
+
+    @pytest.mark.parametrize("pq_name", list(PQ_IMPLEMENTATIONS))
+    def test_all_priority_queues_agree(self, random_graph, pq_name):
+        base = dijkstra_sssp(random_graph, 3)
+        got = dijkstra_sssp(
+            random_graph, 3, pq_factory=PQ_IMPLEMENTATIONS[pq_name]
+        )
+        assert got == base
+
+    def test_matches_floyd_warshall(self, random_graph):
+        table = floyd_warshall(random_graph)
+        for s in range(0, random_graph.num_vertices, 7):
+            dist = dijkstra_sssp(random_graph, s)
+            assert np.allclose(dist, table[s], equal_nan=False)
+
+
+class TestDijkstraPair:
+    def test_same_vertex(self, path_graph):
+        assert dijkstra_pair(path_graph, 2, 2) == 0.0
+
+    def test_matches_sssp(self, random_graph):
+        dist = dijkstra_sssp(random_graph, 0)
+        for t in range(random_graph.num_vertices):
+            assert dijkstra_pair(random_graph, 0, t) == dist[t]
+
+    def test_unreachable(self, two_components):
+        assert dijkstra_pair(two_components, 0, 3) == INF
+
+    def test_invalid_target(self, path_graph):
+        with pytest.raises(GraphError):
+            dijkstra_pair(path_graph, 0, -1)
+
+
+class TestShortestPathTree:
+    def test_parents_consistent(self, random_graph):
+        dist, parent = shortest_path_tree(random_graph, 0)
+        for v in range(random_graph.num_vertices):
+            p = parent[v]
+            if p >= 0:
+                w = random_graph.edge_weight(p, v)
+                assert dist[v] == pytest.approx(dist[p] + w)
+
+    def test_reconstruct_path(self, path_graph):
+        _dist, parent = shortest_path_tree(path_graph, 0)
+        assert reconstruct_path(parent, 3) == [0, 1, 2, 3]
+
+    def test_reconstruct_source(self, path_graph):
+        _dist, parent = shortest_path_tree(path_graph, 0)
+        assert reconstruct_path(parent, 0) == [0]
+
+
+class TestBidirectional:
+    def test_matches_dijkstra(self, random_graph):
+        for s in (0, 7, 13):
+            truth = dijkstra_sssp(random_graph, s)
+            for t in range(0, random_graph.num_vertices, 3):
+                assert bidirectional_dijkstra(random_graph, s, t) == truth[t]
+
+    def test_same_vertex(self, random_graph):
+        assert bidirectional_dijkstra(random_graph, 4, 4) == 0.0
+
+    def test_unreachable(self, two_components):
+        assert bidirectional_dijkstra(two_components, 0, 2) == INF
+
+    def test_path_graph_end_to_end(self, path_graph):
+        assert bidirectional_dijkstra(path_graph, 0, 3) == 6.0
+
+    def test_triangle(self, triangle):
+        assert bidirectional_dijkstra(triangle, 0, 2) == 2.0
+
+
+class TestBFS:
+    def test_hops_ignore_weights(self, path_graph):
+        assert bfs_distances(path_graph, 0) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_matches_dijkstra_on_unit_graph(self, random_graph):
+        unit = random_graph.unit_weighted()
+        for s in (0, 9):
+            assert bfs_distances(unit, s) == dijkstra_sssp(unit, s)
+
+    def test_pair_early_exit(self, path_graph):
+        assert bfs_pair(path_graph, 0, 3) == 3.0
+        assert bfs_pair(path_graph, 1, 1) == 0.0
+
+    def test_pair_unreachable(self, two_components):
+        assert bfs_pair(two_components, 0, 4) == INF
+
+
+class TestFloydWarshall:
+    def test_triangle(self, triangle):
+        table = floyd_warshall(triangle)
+        assert table[0, 2] == 2.0
+        assert table[2, 0] == 2.0
+
+    def test_diagonal_zero(self, random_graph):
+        table = floyd_warshall(random_graph)
+        assert np.all(np.diag(table) == 0.0)
+
+    def test_symmetric(self, random_graph):
+        table = floyd_warshall(random_graph)
+        assert np.allclose(table, table.T)
+
+    def test_disconnected_inf(self, two_components):
+        table = floyd_warshall(two_components)
+        assert table[0, 2] == INF
+
+
+class TestAPSPIndex:
+    def test_query_before_build(self, path_graph):
+        idx = APSPIndex(path_graph)
+        with pytest.raises(NotIndexedError):
+            idx.query(0, 1)
+        with pytest.raises(NotIndexedError):
+            idx.stats  # noqa: B018 - property access is the test
+
+    def test_dijkstra_method(self, random_graph):
+        idx = APSPIndex(random_graph)
+        stats = idx.build()
+        assert stats.n == random_graph.num_vertices
+        truth = dijkstra_sssp(random_graph, 2)
+        for t in range(random_graph.num_vertices):
+            assert idx.query(2, t) == truth[t]
+
+    def test_floyd_warshall_method(self, triangle):
+        idx = APSPIndex(triangle, method="floyd-warshall")
+        idx.build()
+        assert idx.query(0, 2) == 2.0
+
+    def test_methods_agree(self, random_graph):
+        a = APSPIndex(random_graph, method="dijkstra")
+        b = APSPIndex(random_graph, method="floyd-warshall")
+        a.build()
+        b.build()
+        assert np.allclose(a.distance_matrix(), b.distance_matrix())
+
+    def test_unknown_method(self, path_graph):
+        with pytest.raises(ValueError):
+            APSPIndex(path_graph, method="bogus")
+
+    def test_distance_matrix_readonly(self, triangle):
+        idx = APSPIndex(triangle)
+        idx.build()
+        with pytest.raises(ValueError):
+            idx.distance_matrix()[0, 0] = 1.0

@@ -1,0 +1,242 @@
+"""Tests for the benchmark harness, formatters and CLI runner."""
+
+import pytest
+
+from repro.bench.figures import (
+    ascii_cdf,
+    ascii_loglog_histogram,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+)
+from repro.bench.harness import (
+    BenchConfig,
+    experiment_datasets,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_headline,
+    experiment_table34,
+    experiment_table5,
+)
+from repro.bench.runner import main as runner_main
+from repro.bench.tables import (
+    format_headline,
+    format_speedup_table,
+    format_table2,
+    format_table5,
+    write_csv,
+)
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """A configuration small enough for unit tests."""
+    return BenchConfig(
+        scale=0.15,
+        seed=1,
+        datasets=("Wiki-Vote", "Gnutella"),
+        workers=(1, 2, 4),
+        nodes=(1, 2, 3),
+        threads_per_node=2,
+        fig7_syncs=(1, 2, 4),
+        fig7_datasets=("Gnutella",),
+        verify_samples=1,
+    )
+
+
+class TestConfig:
+    def test_graph_cached(self, tiny_config):
+        assert tiny_config.graph("Gnutella") is tiny_config.graph("Gnutella")
+
+    def test_reference_cached(self, tiny_config):
+        a = tiny_config.reference("Gnutella")
+        b = tiny_config.reference("Gnutella")
+        assert a is b
+
+    def test_unknown_dataset(self, tiny_config):
+        with pytest.raises(BenchmarkError):
+            tiny_config.graph("NopeNet")
+
+
+class TestExperiments:
+    def test_datasets(self, tiny_config):
+        rows = experiment_datasets(tiny_config)
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "Wiki-Vote"
+        assert rows[0]["paper_n"] == 7115
+        assert rows[0]["n"] > 0
+
+    def test_fig5(self, tiny_config):
+        hists = experiment_fig5(tiny_config)
+        assert set(hists) == {"Wiki-Vote", "Gnutella"}
+        g = tiny_config.graph("Gnutella")
+        assert sum(hists["Gnutella"].values()) == g.num_vertices
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic"])
+    def test_table34(self, tiny_config, policy):
+        rows = experiment_table34(tiny_config, policy)
+        for row in rows:
+            assert row["speedups"][0] == 1.0
+            assert len(row["speedups"]) == 3
+            assert all(s > 0 for s in row["speedups"])
+            assert row["pll_seconds"] > 0
+            # The simulated 1-thread label size equals serial PLL's.
+            assert row["label_sizes"][0] == pytest.approx(row["pll_ln"])
+
+    def test_table5(self, tiny_config):
+        rows = experiment_table5(tiny_config)
+        for row in rows:
+            assert row["static_speedups"][0] == 1.0
+            assert row["dynamic_speedups"][0] == 1.0
+            # Label sizes grow (weakly) with cluster size.
+            ln = row["dynamic_label_sizes"]
+            assert ln[-1] >= ln[0]
+
+    def test_fig6(self, tiny_config):
+        curves = experiment_fig6(tiny_config, p=2)
+        assert "PLL (serial)" in curves
+        assert len(curves) == 3
+        for curve in curves.values():
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_fig7(self, tiny_config):
+        rows = experiment_fig7(tiny_config)
+        assert len(rows) == 3  # one dataset x three sync counts
+        by_c = {r["syncs"]: r for r in rows}
+        assert by_c[4]["label_size"] <= by_c[1]["label_size"]
+        assert by_c[4]["communication"] >= by_c[1]["communication"]
+
+    def test_headline(self, tiny_config):
+        result = experiment_headline(tiny_config)
+        assert result["intra_speedup"] > 1.0
+        assert result["serial_seconds"] > 0
+
+
+class TestFormatters:
+    def test_table2(self, tiny_config):
+        text = format_table2(experiment_datasets(tiny_config))
+        assert "Wiki-Vote" in text
+        assert "7,115" in text
+
+    def test_speedup_table(self, tiny_config):
+        rows = experiment_table34(tiny_config, "dynamic")
+        text = format_speedup_table(rows, "Table 4")
+        assert "Table 4" in text
+        assert "SP@2" in text
+        assert "Gnutella" in text
+
+    def test_speedup_table_empty(self):
+        assert "(no rows)" in format_speedup_table([], "T")
+
+    def test_table5_format(self, tiny_config):
+        rows = experiment_table5(tiny_config)
+        text = format_table5(rows, "Table 5")
+        assert "dSP@2" in text
+
+    def test_headline_format(self):
+        text = format_headline(
+            {
+                "dataset": "Skitter",
+                "serial_seconds": 2.0,
+                "threads": 12,
+                "intra_speedup": 7.5,
+                "cluster_nodes": 6,
+                "cluster_speedup": 1.9,
+            }
+        )
+        assert "Skitter" in text and "x7.50" in text
+
+    def test_ascii_histogram(self):
+        art = ascii_loglog_histogram({1: 100, 2: 50, 10: 3})
+        assert "*" in art
+
+    def test_ascii_histogram_empty(self):
+        assert "empty" in ascii_loglog_histogram({})
+
+    def test_ascii_cdf(self):
+        art = ascii_cdf({"a": [0.2, 0.6, 1.0]})
+        assert "o = a" in art
+
+    def test_fig_formatters(self, tiny_config):
+        assert "Figure 5" in format_fig5(experiment_fig5(tiny_config))
+        assert "Figure 6" in format_fig6(
+            experiment_fig6(tiny_config, p=2), "Wiki-Vote"
+        )
+        assert "Figure 7" in format_fig7(experiment_fig7(tiny_config))
+
+    def test_write_csv(self, tmp_path, tiny_config):
+        rows = experiment_datasets(tiny_config)
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        content = path.read_text()
+        assert "dataset" in content.splitlines()[0]
+        assert len(content.splitlines()) == 3
+
+    def test_write_csv_flattens_lists(self, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv([{"a": [1, 2, 3]}], path)
+        assert "1;2;3" in path.read_text()
+
+    def test_write_csv_empty(self, tmp_path):
+        write_csv([], tmp_path / "none.csv")
+        assert not (tmp_path / "none.csv").exists()
+
+
+class TestRunner:
+    def test_single_experiment(self, capsys, tmp_path):
+        code = runner_main(
+            [
+                "--experiment",
+                "datasets",
+                "--scale",
+                "0.15",
+                "--datasets",
+                "Gnutella",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Gnutella" in out
+        assert (tmp_path / "datasets.csv").exists()
+
+    def test_unknown_dataset(self, capsys):
+        code = runner_main(
+            ["--experiment", "datasets", "--datasets", "Nope"]
+        )
+        assert code == 2
+
+    def test_table5_partition_flag(self, capsys):
+        code = runner_main(
+            [
+                "--experiment",
+                "table5",
+                "--scale",
+                "0.12",
+                "--datasets",
+                "Gnutella",
+                "--partition",
+                "region",
+                "--syncs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_fig6_runs(self, capsys):
+        code = runner_main(
+            [
+                "--experiment",
+                "fig6",
+                "--scale",
+                "0.15",
+                "--datasets",
+                "Gnutella",
+            ]
+        )
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Tests for exact Brandes betweenness and ψ ordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.centrality import (
+    betweenness_centrality,
+    by_exact_betweenness,
+    psi_values,
+)
+
+from .conftest import build_graph
+
+
+class TestBetweenness:
+    def test_path_graph_centre(self):
+        # Path 0-1-2-3-4: vertex 2 carries the most pairs.
+        g = build_graph([(i, i + 1, 1.0) for i in range(4)])
+        bc = betweenness_centrality(g)
+        assert bc.argmax() == 2
+        # Endpoints carry nothing.
+        assert bc[0] == 0.0 and bc[4] == 0.0
+        # Exact values (x2 convention): pairs through 1 = (0-2,0-3,0-4).
+        assert bc[1] == pytest.approx(6.0)
+        assert bc[2] == pytest.approx(8.0)
+
+    def test_star_hub(self, star_graph):
+        bc = betweenness_centrality(star_graph)
+        assert bc[0] == pytest.approx(2 * (5 * 4 / 2))  # all leaf pairs
+        assert np.all(bc[1:] == 0.0)
+
+    def test_cycle_symmetric(self):
+        g = build_graph([(i, (i + 1) % 6, 1.0) for i in range(6)])
+        bc = betweenness_centrality(g)
+        assert np.allclose(bc, bc[0])
+
+    def test_weights_shift_paths(self):
+        # Square 0-1-2-3-0; heavy edge 0-3 pushes pairs through 1, 2.
+        g = build_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 10.0)]
+        )
+        bc = betweenness_centrality(g)
+        assert bc[1] > 0 and bc[2] > 0
+        assert bc[0] == 0.0 or bc[0] < bc[1]
+
+    def test_equal_path_splitting(self):
+        # Diamond: 0-1-3 and 0-2-3 with equal lengths split the credit.
+        g = build_graph(
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]
+        )
+        bc = betweenness_centrality(g)
+        assert bc[1] == pytest.approx(bc[2])
+        assert bc[1] == pytest.approx(1.0)  # half of pair (0,3), x2
+
+    def test_matches_networkx(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        g_nx = nx.Graph()
+        for u, v, w in random_graph.edges():
+            g_nx.add_edge(u, v, weight=w)
+        ours = betweenness_centrality(random_graph)
+        theirs = nx.betweenness_centrality(
+            g_nx, weight="weight", normalized=False
+        )
+        for v in range(random_graph.num_vertices):
+            # networkx counts each unordered pair once; we count twice.
+            assert ours[v] == pytest.approx(2.0 * theirs.get(v, 0.0))
+
+
+class TestPsi:
+    def test_counts_endpoints(self, star_graph):
+        psi = psi_values(star_graph)
+        # Leaves: no through-paths, but 5 reachable vertices x2.
+        assert psi[1] == pytest.approx(10.0)
+        assert psi[0] > psi[1]
+
+    def test_disconnected(self, two_components):
+        psi = psi_values(two_components)
+        assert psi[4] == 0.0  # isolated vertex
+        assert psi[0] == pytest.approx(2.0)
+
+
+class TestOrdering:
+    def test_permutation(self, random_graph):
+        order = by_exact_betweenness(random_graph)
+        assert sorted(order.tolist()) == list(
+            range(random_graph.num_vertices)
+        )
+
+    def test_star_hub_first(self, star_graph):
+        assert by_exact_betweenness(star_graph)[0] == 0
+
+    def test_psi_order_prunes_at_least_as_well_as_random(self, random_graph):
+        from repro.core.serial import build_serial
+        from repro.graph.order import by_random
+
+        psi_store, _ = build_serial(
+            random_graph, order=by_exact_betweenness(random_graph)
+        )
+        rnd_store, _ = build_serial(
+            random_graph, order=by_random(random_graph, seed=0)
+        )
+        assert psi_store.total_entries <= rnd_store.total_entries

@@ -1,0 +1,116 @@
+"""Tests for the Contraction Hierarchies baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.errors import NotIndexedError
+from repro.generators import grid_road_network
+from repro.generators.random_graphs import gnm_random_graph
+
+
+class TestCorrectness:
+    def test_path(self, path_graph):
+        ch = ContractionHierarchy(path_graph)
+        ch.build()
+        assert ch.query(0, 3) == 6.0
+        assert ch.query(3, 0) == 6.0
+
+    def test_triangle(self, triangle):
+        ch = ContractionHierarchy(triangle)
+        ch.build()
+        assert ch.query(0, 2) == 2.0
+
+    def test_same_vertex(self, random_graph):
+        ch = ContractionHierarchy(random_graph)
+        ch.build()
+        assert ch.query(7, 7) == 0.0
+
+    def test_disconnected(self, two_components):
+        ch = ContractionHierarchy(two_components)
+        ch.build()
+        assert ch.query(0, 3) == math.inf
+
+    def test_all_pairs_match_dijkstra(self, random_graph):
+        ch = ContractionHierarchy(random_graph)
+        ch.build()
+        for s in range(0, random_graph.num_vertices, 4):
+            truth = dijkstra_sssp(random_graph, s)
+            for t in range(random_graph.num_vertices):
+                assert ch.query(s, t) == truth[t], (s, t)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_graphs(self, seed):
+        g = gnm_random_graph(30, 70, seed=seed)
+        ch = ContractionHierarchy(g)
+        ch.build()
+        truth = dijkstra_sssp(g, 0)
+        for t in range(g.num_vertices):
+            assert ch.query(0, t) == truth[t]
+
+    def test_road_network(self):
+        g = grid_road_network(8, 8, seed=1)
+        ch = ContractionHierarchy(g)
+        ch.build()
+        for s in (0, 17):
+            truth = dijkstra_sssp(g, s)
+            for t in range(0, g.num_vertices, 3):
+                assert ch.query(s, t) == truth[t]
+
+    def test_tight_witness_limit_still_exact(self, random_graph):
+        """Truncated witness searches add shortcuts but never break
+        correctness."""
+        loose = ContractionHierarchy(random_graph, witness_settle_limit=1)
+        loose.build()
+        truth = dijkstra_sssp(random_graph, 5)
+        for t in range(random_graph.num_vertices):
+            assert loose.query(5, t) == truth[t]
+
+    def test_rebuild_resets_shortcuts(self, random_graph):
+        ch = ContractionHierarchy(random_graph)
+        ch.build()
+        first = ch.num_shortcuts
+        ch.build()
+        assert ch.num_shortcuts == first
+
+
+class TestStructure:
+    def test_query_before_build(self, path_graph):
+        ch = ContractionHierarchy(path_graph)
+        with pytest.raises(NotIndexedError):
+            ch.query(0, 1)
+        with pytest.raises(NotIndexedError):
+            ch.stats  # noqa: B018
+
+    def test_rank_is_permutation(self, random_graph):
+        ch = ContractionHierarchy(random_graph)
+        ch.build()
+        assert sorted(ch.rank) == list(range(random_graph.num_vertices))
+
+    def test_upward_edges_point_up(self, random_graph):
+        ch = ContractionHierarchy(random_graph)
+        ch.build()
+        for u in range(random_graph.num_vertices):
+            for v, _w in ch._up[u]:
+                assert ch.rank[v] > ch.rank[u]
+
+    def test_bigger_witness_limit_fewer_shortcuts(self):
+        g = grid_road_network(7, 7, seed=0)
+        tight = ContractionHierarchy(g, witness_settle_limit=2)
+        tight.build()
+        generous = ContractionHierarchy(g, witness_settle_limit=256)
+        generous.build()
+        assert generous.num_shortcuts <= tight.num_shortcuts
+
+    def test_invalid_witness_limit(self, path_graph):
+        with pytest.raises(ValueError):
+            ContractionHierarchy(path_graph, witness_settle_limit=0)
+
+    def test_stats_populated(self, random_graph):
+        ch = ContractionHierarchy(random_graph)
+        stats = ch.build()
+        assert stats.n == random_graph.num_vertices
+        assert stats.build_seconds > 0
+        assert stats.total_entries >= random_graph.num_edges

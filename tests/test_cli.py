@@ -1,0 +1,160 @@
+"""End-to-end tests for the ``parapll`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.index import PLLIndex
+from repro.io.npz import load_graph_npz, save_graph_npz
+from repro.generators.random_graphs import gnm_random_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = gnm_random_graph(30, 70, seed=2)
+    path = tmp_path / "g.npz"
+    save_graph_npz(g, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generates_npz(self, tmp_path, capsys):
+        out = tmp_path / "w.npz"
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "Wiki-Vote",
+                "--scale",
+                "0.2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        g = load_graph_npz(out)
+        assert g.name == "Wiki-Vote"
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestIndex:
+    def test_serial_index(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "i.npz"
+        code = main(["index", "--graph", graph_file, "--out", str(out)])
+        assert code == 0
+        idx = PLLIndex.load(out)
+        assert idx.num_vertices == load_graph_npz(graph_file).num_vertices
+        assert "indexed" in capsys.readouterr().out
+
+    def test_threaded_index(self, graph_file, tmp_path):
+        out = tmp_path / "i.npz"
+        code = main(
+            [
+                "index",
+                "--graph",
+                graph_file,
+                "--threads",
+                "3",
+                "--policy",
+                "static",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        idx = PLLIndex.load(out, graph=load_graph_npz(graph_file))
+        idx.verify_against_dijkstra([0, 5])
+
+    def test_default_output_name(self, graph_file, tmp_path):
+        code = main(["index", "--graph", graph_file])
+        assert code == 0
+        assert (tmp_path / "g.index.npz").exists()
+
+    def test_bfs_engine(self, graph_file, tmp_path):
+        from repro.baselines.bfs import bfs_distances
+
+        out = tmp_path / "b.npz"
+        code = main(
+            ["index", "--graph", graph_file, "--engine", "bfs",
+             "--out", str(out)]
+        )
+        assert code == 0
+        g = load_graph_npz(graph_file)
+        idx = PLLIndex.load(out)
+        truth = bfs_distances(g, 0)
+        for t in range(g.num_vertices):
+            assert idx.distance(0, t) == truth[t]
+
+    def test_bfs_engine_threaded(self, graph_file, tmp_path):
+        from repro.baselines.bfs import bfs_distances
+
+        out = tmp_path / "bt.npz"
+        code = main(
+            ["index", "--graph", graph_file, "--engine", "bfs",
+             "--threads", "3", "--out", str(out)]
+        )
+        assert code == 0
+        g = load_graph_npz(graph_file)
+        idx = PLLIndex.load(out)
+        truth = bfs_distances(g, 2)
+        for t in range(g.num_vertices):
+            assert idx.distance(2, t) == truth[t]
+
+
+class TestQuery:
+    def test_query_roundtrip(self, graph_file, tmp_path, capsys):
+        idx_file = tmp_path / "i.npz"
+        main(["index", "--graph", graph_file, "--out", str(idx_file)])
+        capsys.readouterr()
+        code = main(["query", "--index", str(idx_file), "0", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance(0, 7)" in out
+
+    def test_query_self(self, graph_file, tmp_path, capsys):
+        idx_file = tmp_path / "i.npz"
+        main(["index", "--graph", graph_file, "--out", str(idx_file)])
+        capsys.readouterr()
+        main(["query", "--index", str(idx_file), "4", "4"])
+        assert "= 0.0" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, tmp_path, capsys):
+        idx_file = tmp_path / "i.npz"
+        main(["index", "--graph", graph_file, "--out", str(idx_file)])
+        capsys.readouterr()
+        code = main(["stats", "--index", str(idx_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vertices:" in out
+        assert "label size mean" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        code = main(["index", "--graph", "/nonexistent/g.npz"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_query_vertex(self, graph_file, tmp_path, capsys):
+        idx_file = tmp_path / "i.npz"
+        main(["index", "--graph", graph_file, "--out", str(idx_file)])
+        code = main(["query", "--index", str(idx_file), "0", "999"])
+        assert code == 1
+
+
+class TestBenchPassthrough:
+    def test_bench_subcommand(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--experiment",
+                "datasets",
+                "--scale",
+                "0.15",
+                "--datasets",
+                "Gnutella",
+            ]
+        )
+        assert code == 0
+        assert "Gnutella" in capsys.readouterr().out

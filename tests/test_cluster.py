@@ -1,0 +1,171 @@
+"""Tests for cluster ParaPLL (Algorithm 3) over the simulated cluster."""
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.cluster.network import NetworkModel
+from repro.cluster.parapll import simulate_cluster
+from repro.core.serial import build_serial
+from repro.errors import SimulationError
+
+FAST_NET = NetworkModel(latency_units=10.0, per_entry_units=0.01)
+
+
+def assert_exact(graph, index, sources=(0,)):
+    for s in sources:
+        truth = dijkstra_sssp(graph, s)
+        for t in range(graph.num_vertices):
+            assert index.distance(s, t) == truth[t], (s, t)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("q", [1, 2, 4])
+    def test_exact_any_cluster_size(self, random_graph, q):
+        index, _run = simulate_cluster(
+            random_graph, q, threads_per_node=2, syncs=1, network=FAST_NET
+        )
+        assert_exact(random_graph, index, sources=(0, 9))
+
+    @pytest.mark.parametrize("c", [1, 2, 5])
+    def test_exact_any_sync_count(self, random_graph, c):
+        index, _run = simulate_cluster(
+            random_graph, 3, threads_per_node=2, syncs=c, network=FAST_NET
+        )
+        assert_exact(random_graph, index)
+
+    @pytest.mark.parametrize("schedule", ["uniform", "early"])
+    def test_exact_any_schedule(self, random_graph, schedule):
+        index, _run = simulate_cluster(
+            random_graph,
+            3,
+            threads_per_node=2,
+            syncs=3,
+            sync_schedule=schedule,
+            network=FAST_NET,
+        )
+        assert_exact(random_graph, index)
+
+    def test_exact_with_replication(self, random_graph):
+        index, _run = simulate_cluster(
+            random_graph,
+            3,
+            threads_per_node=2,
+            syncs=2,
+            replicate_top=8,
+            network=FAST_NET,
+        )
+        assert_exact(random_graph, index)
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic"])
+    def test_exact_both_policies(self, random_graph, policy):
+        index, _run = simulate_cluster(
+            random_graph, 2, threads_per_node=3, policy=policy,
+            network=FAST_NET, jitter=0.2, worker_jitter=0.2, seed=4,
+        )
+        assert_exact(random_graph, index)
+
+    def test_single_node_single_thread_is_serial(self, random_graph):
+        index, _run = simulate_cluster(
+            random_graph, 1, threads_per_node=1, syncs=1, network=FAST_NET
+        )
+        serial_store, _ = build_serial(random_graph)
+        assert index.store == serial_store
+
+
+class TestShapes:
+    def test_labels_grow_with_nodes(self, medium_graph):
+        sizes = []
+        for q in (1, 2, 4):
+            index, _ = simulate_cluster(
+                medium_graph, q, threads_per_node=1, syncs=1, network=FAST_NET
+            )
+            sizes.append(index.store.total_entries)
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_more_syncs_shrink_labels(self, medium_graph):
+        few, _ = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=1, network=FAST_NET
+        )
+        many, _ = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=8, network=FAST_NET
+        )
+        assert many.store.total_entries < few.store.total_entries
+
+    def test_more_syncs_cost_more_communication(self, medium_graph):
+        net = NetworkModel(latency_units=100.0, per_entry_units=0.01)
+        _i1, r1 = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=1, network=net
+        )
+        _i8, r8 = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=8, network=net
+        )
+        assert r8.communication_time > r1.communication_time
+
+    def test_single_node_has_no_comm(self, random_graph):
+        _idx, run = simulate_cluster(
+            random_graph, 1, threads_per_node=2, syncs=3, network=FAST_NET
+        )
+        assert run.communication_time == 0.0
+
+    def test_replication_shrinks_labels(self, medium_graph):
+        plain, _ = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=1, network=FAST_NET
+        )
+        rep, _ = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=1,
+            replicate_top=10, network=FAST_NET,
+        )
+        assert rep.store.total_entries < plain.store.total_entries
+
+
+class TestAccounting:
+    def test_result_fields(self, random_graph):
+        index, run = simulate_cluster(
+            random_graph, 3, threads_per_node=2, syncs=2, network=FAST_NET
+        )
+        assert run.num_nodes == 3
+        assert run.threads_per_node == 2
+        assert run.syncs == 2
+        assert len(run.per_node_clock) == 3
+        assert len(run.per_sync_entries) == 2
+        assert run.makespan >= max(run.per_node_clock) - 1e-9
+        assert index.stats.build_seconds == run.makespan
+
+    def test_all_clocks_aligned_at_end(self, random_graph):
+        _idx, run = simulate_cluster(
+            random_graph, 3, threads_per_node=2, syncs=2,
+            network=FAST_NET, jitter=0.3, seed=1,
+        )
+        assert max(run.per_node_clock) - min(run.per_node_clock) < 1e-9
+
+    def test_per_root_stats_cover_all_roots(self, random_graph):
+        index, _run = simulate_cluster(
+            random_graph, 2, threads_per_node=2, syncs=1, network=FAST_NET
+        )
+        assert len(index.stats.per_root) == random_graph.num_vertices
+
+    def test_deterministic(self, random_graph):
+        a = simulate_cluster(
+            random_graph, 3, threads_per_node=2, syncs=2,
+            network=FAST_NET, jitter=0.2, seed=9,
+        )
+        b = simulate_cluster(
+            random_graph, 3, threads_per_node=2, syncs=2,
+            network=FAST_NET, jitter=0.2, seed=9,
+        )
+        assert a[1].makespan == b[1].makespan
+        assert a[0].store == b[0].store
+
+
+class TestValidation:
+    def test_zero_nodes(self, random_graph):
+        with pytest.raises(SimulationError):
+            simulate_cluster(random_graph, 0)
+
+    def test_zero_syncs(self, random_graph):
+        with pytest.raises(SimulationError):
+            simulate_cluster(random_graph, 2, syncs=0)
+
+    def test_negative_replication(self, random_graph):
+        with pytest.raises(SimulationError):
+            simulate_cluster(random_graph, 2, replicate_top=-1)

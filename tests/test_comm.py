@@ -1,0 +1,172 @@
+"""Tests for the simulated MPI communicator."""
+
+import pytest
+
+from repro.cluster.comm import SimComm
+from repro.cluster.network import NetworkModel
+from repro.errors import CommError
+
+
+def make_comm(size=3, latency=1.0, per_entry=0.5):
+    return SimComm(
+        size,
+        network=NetworkModel(latency_units=latency, per_entry_units=per_entry),
+        seconds_per_unit=1.0,
+    )
+
+
+class TestBasics:
+    def test_invalid_size(self):
+        with pytest.raises(CommError):
+            SimComm(0)
+
+    def test_invalid_spu(self):
+        with pytest.raises(CommError):
+            SimComm(2, seconds_per_unit=0.0)
+
+    def test_clocks_start_zero(self):
+        comm = make_comm()
+        assert comm.clocks == [0.0, 0.0, 0.0]
+
+    def test_set_clock(self):
+        comm = make_comm()
+        comm.set_clock(1, 5.0)
+        assert comm.clocks[1] == 5.0
+
+    def test_clock_backwards_rejected(self):
+        comm = make_comm()
+        comm.set_clock(1, 5.0)
+        with pytest.raises(CommError):
+            comm.set_clock(1, 1.0)
+
+    def test_rank_range(self):
+        comm = make_comm()
+        with pytest.raises(CommError):
+            comm.set_clock(7, 1.0)
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        comm = make_comm()
+        comm.send([1, 2, 3], source=0, dest=1)
+        assert comm.recv(source=0, dest=1) == [1, 2, 3]
+
+    def test_send_advances_sender_clock(self):
+        comm = make_comm(latency=2.0, per_entry=1.0)
+        comm.send([0, 0], source=0, dest=1)  # 2 + 2*1 = 4 units
+        assert comm.clocks[0] == 4.0
+        assert comm.comm_seconds[0] == 4.0
+
+    def test_recv_waits_for_arrival(self):
+        comm = make_comm(latency=2.0, per_entry=1.0)
+        comm.send([0], source=0, dest=1)
+        comm.recv(source=0, dest=1)
+        assert comm.clocks[1] == comm.clocks[0]
+
+    def test_recv_no_wait_if_late(self):
+        comm = make_comm(latency=1.0, per_entry=0.0)
+        comm.send("x", source=0, dest=1)
+        comm.set_clock(1, 100.0)
+        comm.recv(source=0, dest=1)
+        assert comm.clocks[1] == 100.0
+
+    def test_recv_missing_message(self):
+        comm = make_comm()
+        with pytest.raises(CommError):
+            comm.recv(source=0, dest=1)
+
+    def test_fifo_per_channel(self):
+        comm = make_comm()
+        comm.send("a", 0, 1, tag=9)
+        comm.send("b", 0, 1, tag=9)
+        assert comm.recv(0, 1, tag=9) == "a"
+        assert comm.recv(0, 1, tag=9) == "b"
+
+    def test_tags_are_separate_channels(self):
+        comm = make_comm()
+        comm.send("t1", 0, 1, tag=1)
+        comm.send("t2", 0, 1, tag=2)
+        assert comm.recv(0, 1, tag=2) == "t2"
+
+
+class TestBarrier:
+    def test_returns_none_until_complete(self):
+        comm = make_comm(3)
+        assert comm.barrier(0) is None
+        assert comm.barrier(1) is None
+        assert comm.barrier(2) is not None
+
+    def test_aligns_clocks_to_max(self):
+        comm = make_comm(2)
+        comm.set_clock(0, 3.0)
+        comm.set_clock(1, 7.0)
+        comm.barrier(0)
+        exit_time = comm.barrier(1)
+        assert exit_time == 7.0
+        assert comm.clocks == [7.0, 7.0]
+        assert comm.comm_seconds[0] == 4.0
+
+    def test_double_join_rejected(self):
+        comm = make_comm(2)
+        comm.barrier(0)
+        with pytest.raises(CommError):
+            comm.barrier(0)
+
+    def test_reusable_after_completion(self):
+        comm = make_comm(2)
+        comm.barrier(0)
+        comm.barrier(1)
+        assert comm.barrier(1) is None
+        assert comm.barrier(0) is not None
+
+
+class TestAllgather:
+    def test_gathers_in_rank_order(self):
+        comm = make_comm(3, latency=0.0, per_entry=0.0)
+        assert comm.allgather(2, "c") is None
+        assert comm.allgather(0, "a") is None
+        assert comm.allgather(1, "b") == ["a", "b", "c"]
+        assert comm.collective_result() == ["a", "b", "c"]
+
+    def test_charges_exchange_time(self):
+        comm = make_comm(2, latency=3.0, per_entry=1.0)
+        comm.allgather(0, [1, 2])
+        comm.allgather(1, [3])
+        # (3 + 2) + (3 + 1) = 9 units, 1 stage.
+        assert comm.clocks == [9.0, 9.0]
+
+    def test_starts_from_slowest_rank(self):
+        comm = make_comm(2, latency=1.0, per_entry=0.0)
+        comm.set_clock(0, 10.0)
+        comm.allgather(0, [])
+        comm.allgather(1, [])
+        assert comm.clocks[0] == comm.clocks[1] == 12.0
+
+    def test_double_join_rejected(self):
+        comm = make_comm(2)
+        comm.allgather(0, [])
+        with pytest.raises(CommError):
+            comm.allgather(0, [])
+
+    def test_collective_result_before_any(self):
+        comm = make_comm(2)
+        with pytest.raises(CommError):
+            comm.collective_result()
+
+
+class TestBcast:
+    def test_delivers_to_all(self):
+        comm = make_comm(3, latency=0.0, per_entry=0.0)
+        out = comm.bcast([1, 2], root=0)
+        assert out == [[1, 2]] * 3
+
+    def test_charges_broadcast_time(self):
+        comm = make_comm(4, latency=1.0, per_entry=1.0)
+        comm.bcast([7, 8, 9], root=2)
+        # (1 + 3) * 2 stages = 8 units.
+        assert comm.clocks == [8.0] * 4
+
+    def test_total_comm_seconds(self):
+        comm = make_comm(2, latency=1.0, per_entry=0.0)
+        comm.bcast("x", root=0)
+        assert comm.total_comm_seconds == sum(comm.comm_seconds)

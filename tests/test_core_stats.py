@@ -1,0 +1,80 @@
+"""Tests for label statistics and the Figure-6 CDF helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import build_serial
+from repro.core.stats import (
+    label_cdf,
+    label_size_summary,
+    per_root_label_counts,
+    roots_to_reach,
+)
+from repro.types import SearchStats
+
+
+def stats_with(counts):
+    return [SearchStats(labels_added=c) for c in counts]
+
+
+class TestLabelCDF:
+    def test_monotone_to_one(self):
+        cdf = label_cdf(stats_with([5, 3, 2]))
+        assert cdf.tolist() == [0.5, 0.8, 1.0]
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_empty(self):
+        assert len(label_cdf([])) == 0
+
+    def test_all_zero(self):
+        cdf = label_cdf(stats_with([0, 0]))
+        assert cdf.tolist() == [0.0, 0.0]
+
+    def test_real_build_ends_at_one(self, random_graph):
+        _store, stats = build_serial(random_graph, collect_per_root=True)
+        cdf = label_cdf(stats.per_root)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_front_loaded_on_real_graph(self, medium_graph):
+        """The Figure-6 phenomenon: early roots create most labels."""
+        _store, stats = build_serial(medium_graph, collect_per_root=True)
+        cdf = label_cdf(stats.per_root)
+        tenth = len(cdf) // 10
+        assert cdf[tenth] > 0.5
+
+
+class TestRootsToReach:
+    def test_basic(self):
+        cdf = label_cdf(stats_with([9, 1, 1]))  # 9/11, 10/11, 1.0
+        assert roots_to_reach(cdf, 0.5) == 1
+        assert roots_to_reach(cdf, 0.95) == 3
+
+    def test_exact_boundary(self):
+        cdf = np.array([0.5, 1.0])
+        assert roots_to_reach(cdf, 0.5) == 1
+
+    def test_empty(self):
+        assert roots_to_reach(np.array([]), 0.9) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            roots_to_reach(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            roots_to_reach(np.array([1.0]), 1.5)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = label_size_summary([1, 2, 3, 4])
+        assert s["mean"] == 2.5
+        assert s["max"] == 4
+        assert s["min"] == 1
+        assert s["median"] == 2.5
+
+    def test_empty_summary(self):
+        s = label_size_summary([])
+        assert s["mean"] == 0.0
+        assert s["max"] == 0.0
+
+    def test_per_root_counts(self):
+        assert per_root_label_counts(stats_with([3, 0, 7])) == [3, 0, 7]

@@ -1,0 +1,91 @@
+"""Tests for the simulator cost model."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.costmodel import CostModel, calibrate_cost_model
+from repro.types import SearchStats
+
+
+def make_stats(**kw):
+    base = dict(
+        settled=10,
+        pruned=2,
+        labels_added=8,
+        relaxations=30,
+        heap_pushes=25,
+        heap_pops=27,
+        query_entries_scanned=40,
+    )
+    base.update(kw)
+    return SearchStats(**base)
+
+
+class TestUnits:
+    def test_search_units_formula(self):
+        cm = CostModel(
+            per_heap_op=1.0,
+            per_relaxation=0.5,
+            per_scan=0.25,
+            per_settle=2.0,
+            n=16,
+        )
+        s = make_stats()
+        expected = (
+            1.0 * (25 + 27) * math.log2(16)
+            + 0.5 * 30
+            + 0.25 * 40
+            + 2.0 * 10
+        )
+        assert cm.search_units(s) == pytest.approx(expected)
+
+    def test_commit_units(self):
+        cm = CostModel(per_label_commit=3.0)
+        assert cm.commit_units(7) == 21.0
+
+    def test_task_units_sums_parts(self):
+        cm = CostModel(task_overhead=5.0).for_graph(8)
+        s = make_stats()
+        assert cm.task_units(s) == pytest.approx(
+            5.0 + cm.search_units(s) + cm.commit_units(s.labels_added)
+        )
+
+    def test_seconds_scaling(self):
+        cm = CostModel(seconds_per_unit=0.5)
+        assert cm.seconds(10.0) == 5.0
+
+    def test_for_graph_floor(self):
+        cm = CostModel().for_graph(0)
+        assert cm.n == 2
+
+    def test_for_graph_negative(self):
+        with pytest.raises(SimulationError):
+            CostModel().for_graph(-1)
+
+    def test_calibrated_validates(self):
+        with pytest.raises(SimulationError):
+            CostModel().calibrated(0.0)
+
+
+class TestCalibration:
+    def test_total_equals_measured(self):
+        per_root = [make_stats() for _ in range(10)]
+        cm = calibrate_cost_model(per_root, measured_seconds=2.0, n=100)
+        total = sum(cm.seconds(cm.task_units(s)) for s in per_root)
+        assert total == pytest.approx(2.0)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(SimulationError):
+            calibrate_cost_model([make_stats()], 0.0, 10)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(SimulationError):
+            calibrate_cost_model([], 1.0, 10)
+
+    def test_custom_base_preserved(self):
+        base = CostModel(per_relaxation=9.0)
+        cm = calibrate_cost_model([make_stats()], 1.0, 10, base=base)
+        assert cm.per_relaxation == 9.0
+        assert cm.n == 10

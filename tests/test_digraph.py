@@ -1,0 +1,185 @@
+"""Tests for the directed-graph extension package."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.digraph import (
+    DiCSRGraph,
+    DiGraphBuilder,
+    DirectedPLLIndex,
+    dijkstra_backward,
+    dijkstra_forward,
+)
+from repro.errors import GraphError, OrderingError
+
+INF = math.inf
+
+
+def random_digraph(n, m, seed):
+    rng = random.Random(seed)
+    b = DiGraphBuilder(num_vertices=n)
+    added = 0
+    while added < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        b.add_arc(u, v, float(rng.randint(1, 9)))
+        added += 1
+    return b.build(name=f"rand-{n}-{m}")
+
+
+@pytest.fixture
+def chain():
+    """0 -> 1 -> 2 -> 3 (one way only)."""
+    b = DiGraphBuilder()
+    b.add_arcs([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+    return b.build()
+
+
+@pytest.fixture
+def digraph():
+    return random_digraph(30, 120, seed=3)
+
+
+class TestBuilder:
+    def test_basic(self, chain):
+        assert chain.num_vertices == 4
+        assert chain.num_arcs == 3
+
+    def test_asymmetry(self, chain):
+        assert dijkstra_forward(chain, 0)[3] == 6.0
+        assert dijkstra_forward(chain, 3)[0] == INF
+
+    def test_in_adjacency_mirrors_out(self, digraph):
+        arcs = {(u, v): w for u, v, w in digraph.arcs()}
+        for v in range(digraph.num_vertices):
+            for u, w in digraph.in_adjacency()[v]:
+                assert arcs[(u, v)] == w
+
+    def test_duplicate_min(self):
+        b = DiGraphBuilder()
+        b.add_arc(0, 1, 5.0)
+        b.add_arc(0, 1, 2.0)
+        g = b.build()
+        assert dijkstra_forward(g, 0)[1] == 2.0
+
+    def test_duplicate_error_policy(self):
+        b = DiGraphBuilder(on_duplicate="error")
+        b.add_arc(0, 1, 5.0)
+        with pytest.raises(GraphError):
+            b.add_arc(0, 1, 2.0)
+
+    def test_antiparallel_arcs_are_distinct(self):
+        b = DiGraphBuilder()
+        b.add_arc(0, 1, 1.0)
+        b.add_arc(1, 0, 7.0)
+        g = b.build()
+        assert dijkstra_forward(g, 0)[1] == 1.0
+        assert dijkstra_forward(g, 1)[0] == 7.0
+
+    def test_self_loops_dropped(self):
+        b = DiGraphBuilder()
+        b.add_arc(2, 2, 1.0)
+        assert b.build().num_arcs == 0
+
+    def test_validation(self):
+        b = DiGraphBuilder(num_vertices=3)
+        with pytest.raises(GraphError):
+            b.add_arc(0, 5, 1.0)
+        with pytest.raises(GraphError):
+            b.add_arc(0, 1, -1.0)
+        with pytest.raises(GraphError):
+            b.add_arc(-1, 1, 1.0)
+
+    def test_degrees(self, chain):
+        assert chain.out_degrees().tolist() == [1, 1, 1, 0]
+        assert chain.in_degrees().tolist() == [0, 1, 1, 1]
+
+
+class TestDijkstra:
+    def test_forward_backward_duality(self, digraph):
+        for t in (0, 9, 22):
+            back = dijkstra_backward(digraph, t)
+            for s in range(digraph.num_vertices):
+                assert dijkstra_forward(digraph, s)[t] == back[s]
+
+    def test_invalid_vertex(self, chain):
+        with pytest.raises(GraphError):
+            dijkstra_forward(chain, 99)
+
+
+class TestDirectedPLL:
+    def test_chain(self, chain):
+        idx = DirectedPLLIndex(chain)
+        idx.build()
+        assert idx.distance(0, 3) == 6.0
+        assert idx.distance(3, 0) == INF
+        assert idx.distance(1, 1) == 0.0
+
+    def test_matches_dijkstra_everywhere(self, digraph):
+        idx = DirectedPLLIndex(digraph)
+        idx.build()
+        idx.verify_against_dijkstra(range(digraph.num_vertices))
+
+    @pytest.mark.parametrize("seed", [1, 2, 5])
+    def test_random_digraphs(self, seed):
+        g = random_digraph(25, 80, seed=seed)
+        idx = DirectedPLLIndex(g)
+        idx.build()
+        idx.verify_against_dijkstra(range(0, 25, 3))
+
+    def test_cycle(self):
+        b = DiGraphBuilder()
+        b.add_arcs([(i, (i + 1) % 5, 1.0) for i in range(5)])
+        idx = DirectedPLLIndex(b.build())
+        idx.build()
+        assert idx.distance(0, 4) == 4.0
+        assert idx.distance(4, 0) == 1.0
+
+    def test_query_before_build(self, chain):
+        idx = DirectedPLLIndex(chain)
+        with pytest.raises(GraphError):
+            idx.distance(0, 1)
+
+    def test_custom_order(self, digraph):
+        order = list(reversed(range(digraph.num_vertices)))
+        idx = DirectedPLLIndex(digraph, order=order)
+        idx.build()
+        idx.verify_against_dijkstra([0, 5])
+
+    def test_invalid_order(self, chain):
+        with pytest.raises(OrderingError):
+            DirectedPLLIndex(chain, order=[0, 1])
+
+    def test_stats(self, digraph):
+        idx = DirectedPLLIndex(digraph)
+        stats = idx.build()
+        assert stats.n == digraph.num_vertices
+        assert stats.total_entries > 0
+        assert idx.avg_label_size() > 0
+
+    def test_pruning_smaller_than_full(self, digraph):
+        """Labels far smaller than the 2 n^2 unpruned worst case."""
+        idx = DirectedPLLIndex(digraph)
+        idx.build()
+        n = digraph.num_vertices
+        assert idx.stats.total_entries < 2 * n * n * 0.8
+
+
+class TestDiCSRValidation:
+    def test_bad_weights(self):
+        with pytest.raises(GraphError):
+            DiCSRGraph(
+                np.array([0, 1]), np.array([0]), np.array([-1.0]),
+                np.array([0, 1]), np.array([0]), np.array([-1.0]),
+            )
+
+    def test_mismatched_arc_counts(self):
+        with pytest.raises(GraphError):
+            DiCSRGraph(
+                np.array([0, 1, 1]), np.array([1]), np.array([1.0]),
+                np.array([0, 0, 0]), np.array([]), np.array([]),
+            )

@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts import and (the quick ones) run."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "social_search", "road_routing", "cluster_sync",
+     "scaling_study"],
+)
+def test_example_imports(name):
+    mod = load_example(name)
+    assert callable(mod.main)
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "agree with Dijkstra" in out
+
+
+def test_road_routing_runs(capsys):
+    load_example("road_routing").main()
+    out = capsys.readouterr().out
+    assert "bidirectional Dijkstra" in out

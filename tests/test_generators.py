@@ -1,0 +1,213 @@
+"""Tests for the synthetic graph generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.generators.asnet import as_topology
+from repro.generators.paper import DATASETS, dataset_names, load_dataset
+from repro.generators.powerlaw import barabasi_albert, chung_lu, powerlaw_degrees
+from repro.generators.random_graphs import gnm_random_graph, gnp_random_graph
+from repro.generators.road import grid_road_network
+from repro.generators.social import community_graph, watts_strogatz
+from repro.generators.weights import WEIGHT_DISTRIBUTIONS, make_weight_sampler
+from repro.graph.validate import check_graph
+
+
+ALL_GENERATORS = [
+    ("gnm", lambda seed: gnm_random_graph(60, 150, seed=seed)),
+    ("gnp", lambda seed: gnp_random_graph(60, 0.08, seed=seed)),
+    ("ba", lambda seed: barabasi_albert(60, 3, seed=seed)),
+    (
+        "chung_lu",
+        lambda seed: chung_lu(
+            powerlaw_degrees(60, 2.2, 2, 12, seed=seed), seed=seed
+        ),
+    ),
+    ("road", lambda seed: grid_road_network(8, 8, seed=seed)),
+    ("ws", lambda seed: watts_strogatz(60, 4, 0.1, seed=seed)),
+    (
+        "community",
+        lambda seed: community_graph(4, 15, 0.4, 0.01, seed=seed),
+    ),
+    ("as", lambda seed: as_topology(80, seed=seed)),
+]
+
+
+@pytest.mark.parametrize("name,make", ALL_GENERATORS, ids=[n for n, _ in ALL_GENERATORS])
+class TestAllGenerators:
+    def test_structurally_valid(self, name, make):
+        g = make(0)
+        check_graph(g)
+
+    def test_connected(self, name, make):
+        assert make(1).is_connected()
+
+    def test_positive_weights(self, name, make):
+        g = make(2)
+        assert np.all(g.weights > 0)
+
+    def test_deterministic(self, name, make):
+        assert make(3) == make(3)
+
+    def test_seed_matters(self, name, make):
+        assert make(4) != make(5)
+
+
+class TestWeights:
+    def test_registry_names(self):
+        for name in WEIGHT_DISTRIBUTIONS:
+            sampler = make_weight_sampler(name)
+            w = sampler(np.random.default_rng(0), 100)
+            assert len(w) == 100
+            assert np.all(w > 0)
+            assert np.all(np.isfinite(w))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown weight"):
+            make_weight_sampler("gaussian")
+
+    def test_unit_weights(self):
+        w = make_weight_sampler("unit")(np.random.default_rng(0), 5)
+        assert w.tolist() == [1.0] * 5
+
+    def test_uniform_int_range(self):
+        w = make_weight_sampler("uniform-int")(np.random.default_rng(0), 500)
+        assert w.min() >= 1 and w.max() <= 10
+        assert np.all(w == np.round(w))
+
+
+class TestPowerlaw:
+    def test_degree_sequence_range(self):
+        deg = powerlaw_degrees(200, 2.5, 2, 20, seed=0)
+        assert deg.min() >= 2 and deg.max() <= 20
+
+    def test_degree_sequence_skewed(self):
+        deg = powerlaw_degrees(2000, 2.1, 1, 100, seed=0)
+        assert np.median(deg) < deg.mean() < deg.max()
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_degrees(10, 0.5, 1, 5)
+
+    def test_invalid_degree_bounds(self):
+        with pytest.raises(ValueError):
+            powerlaw_degrees(10, 2.0, 5, 2)
+
+    def test_ba_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        # m ~ m_attach * (n - m_attach); LCC extraction may trim a little.
+        assert g.num_edges >= 2.5 * 90
+
+    def test_ba_has_hubs(self):
+        g = barabasi_albert(300, 2, seed=0)
+        assert g.degrees.max() > 5 * g.degrees.mean()
+
+    def test_ba_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 5)
+
+    def test_chung_lu_negative_degree(self):
+        with pytest.raises(ValueError):
+            chung_lu(np.array([-1.0, 2.0]))
+
+
+class TestRoad:
+    def test_low_degree(self):
+        g = grid_road_network(15, 15, seed=0)
+        assert g.degrees.max() <= 8
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            grid_road_network(0, 5)
+        with pytest.raises(ValueError):
+            grid_road_network(5, 5, removal_prob=1.5)
+
+    def test_keeps_most_of_grid(self):
+        g = grid_road_network(20, 20, removal_prob=0.1, seed=1)
+        assert g.num_vertices > 320  # >80% of 400
+
+
+class TestSocial:
+    def test_ws_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(2, 2, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 12, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5)
+
+    def test_community_denser_inside(self):
+        g = community_graph(3, 30, 0.5, 0.001, seed=0)
+        inside = outside = 0
+        for u, v, _w in g.edges():
+            if u // 30 == v // 30:
+                inside += 1
+            else:
+                outside += 1
+        assert inside > outside
+
+    def test_community_validation(self):
+        with pytest.raises(ValueError):
+            community_graph(0, 5, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            community_graph(2, 5, 1.5, 0.1)
+
+
+class TestAsTopology:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            as_topology(5)
+        with pytest.raises(ValueError):
+            as_topology(100, core_fraction=0.9, mid_fraction=0.2)
+
+    def test_skewed_degrees(self):
+        g = as_topology(400, seed=0)
+        assert g.degrees.max() > 10 * np.median(g.degrees)
+
+
+class TestDatasetRegistry:
+    def test_eleven_datasets(self):
+        assert len(dataset_names()) == 11
+        assert dataset_names()[0] == "Wiki-Vote"
+        assert dataset_names()[-1] == "Euall"
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_each_loads_small(self, name):
+        g = load_dataset(name, scale=0.25, seed=1)
+        assert g.is_connected()
+        assert g.name == name
+        check_graph(g)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("Gnutella", scale=0.25)
+        big = load_dataset("Gnutella", scale=0.75)
+        assert big.num_vertices > small.num_vertices
+
+    def test_deterministic(self):
+        assert load_dataset("CondMat", scale=0.25, seed=3) == load_dataset(
+            "CondMat", scale=0.25, seed=3
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("Facebook")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("Gnutella", scale=0.0)
+
+    def test_specs_match_paper_table2(self):
+        spec = DATASETS["Skitter"].spec
+        assert spec.paper_n == 192_244
+        assert spec.paper_m == 1_218_132
+        assert spec.graph_type == "Autonomous Systems"
+
+    def test_road_family_low_degree(self):
+        g = load_dataset("DE-USA", scale=0.3)
+        assert g.degrees.max() <= 8
+
+    def test_social_family_skewed_degrees(self):
+        g = load_dataset("Epinions", scale=0.3)
+        assert g.degrees.max() > 5 * np.median(g.degrees)

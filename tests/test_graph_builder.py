@@ -1,0 +1,158 @@
+"""Tests for GraphBuilder: cleaning policy, duplicates, errors."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBasics:
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_empty_with_explicit_n(self):
+        g = GraphBuilder(num_vertices=7).build()
+        assert g.num_vertices == 7
+        assert g.num_edges == 0
+
+    def test_single_edge(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1, 3.0)
+        g = b.build()
+        assert g.num_vertices == 2
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_grows_to_max_vertex(self):
+        b = GraphBuilder()
+        b.add_edge(2, 9, 1.0)
+        assert b.build().num_vertices == 10
+
+    def test_symmetry(self):
+        b = GraphBuilder()
+        b.add_edge(3, 1, 2.0)
+        g = b.build()
+        assert g.edge_weight(1, 3) == 2.0
+        assert g.edge_weight(3, 1) == 2.0
+
+    def test_both_orientations_are_one_edge(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1, 2.0)
+        b.add_edge(1, 0, 4.0)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 2.0  # "min" policy
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        assert b.num_edges == 2
+
+    def test_add_unweighted_edges(self):
+        b = GraphBuilder()
+        b.add_unweighted_edges([(0, 1), (1, 2)])
+        g = b.build()
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_len_and_counts(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(1, 2, 1.0)
+        assert len(b) == 2
+        assert b.num_vertices == 3
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1, 1.0)
+        g1 = b.build()
+        b.add_edge(1, 2, 1.0)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2
+
+
+class TestDuplicatePolicies:
+    def test_min_policy(self):
+        b = GraphBuilder(on_duplicate="min")
+        b.add_edge(0, 1, 5.0)
+        b.add_edge(0, 1, 2.0)
+        assert b.build().edge_weight(0, 1) == 2.0
+
+    def test_max_policy(self):
+        b = GraphBuilder(on_duplicate="max")
+        b.add_edge(0, 1, 5.0)
+        b.add_edge(0, 1, 2.0)
+        assert b.build().edge_weight(0, 1) == 5.0
+
+    def test_first_policy(self):
+        b = GraphBuilder(on_duplicate="first")
+        b.add_edge(0, 1, 5.0)
+        b.add_edge(0, 1, 2.0)
+        assert b.build().edge_weight(0, 1) == 5.0
+
+    def test_last_policy(self):
+        b = GraphBuilder(on_duplicate="last")
+        b.add_edge(0, 1, 5.0)
+        b.add_edge(0, 1, 2.0)
+        assert b.build().edge_weight(0, 1) == 2.0
+
+    def test_error_policy(self):
+        b = GraphBuilder(on_duplicate="error")
+        b.add_edge(0, 1, 5.0)
+        with pytest.raises(GraphError):
+            b.add_edge(1, 0, 2.0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(on_duplicate="bogus")
+
+
+class TestValidation:
+    def test_negative_vertex(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(-1, 0, 1.0)
+
+    def test_out_of_range_with_explicit_n(self):
+        b = GraphBuilder(num_vertices=3)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 3, 1.0)
+
+    def test_negative_n(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(num_vertices=-1)
+
+    def test_zero_weight(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(0, 1, 0.0)
+
+    def test_negative_weight(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(0, 1, -2.0)
+
+    def test_nan_weight(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(0, 1, float("nan"))
+
+    def test_inf_weight(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(0, 1, float("inf"))
+
+    def test_self_loop_dropped_by_default(self):
+        b = GraphBuilder()
+        b.add_edge(2, 2, 1.0)
+        g = b.build()
+        assert g.num_edges == 0
+        assert g.num_vertices == 3  # the vertex still counts
+
+    def test_self_loop_error_when_forbidden(self):
+        b = GraphBuilder(drop_self_loops=False)
+        with pytest.raises(GraphError):
+            b.add_edge(2, 2, 1.0)
+
+    def test_build_passes_structural_validation(self):
+        from repro.graph.validate import check_graph
+
+        b = GraphBuilder()
+        b.add_edges([(5, 2, 1.0), (2, 0, 2.0), (0, 5, 3.0), (1, 4, 1.5)])
+        check_graph(b.build())

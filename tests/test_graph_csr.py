@@ -1,0 +1,166 @@
+"""Tests for the CSR graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+from .conftest import build_graph
+
+
+def make_raw(indptr, indices, weights):
+    return CSRGraph(
+        np.asarray(indptr), np.asarray(indices), np.asarray(weights)
+    )
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = make_raw([0], [], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_single_vertex_no_edges(self):
+        g = make_raw([0, 0], [], [])
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_simple_edge(self):
+        g = make_raw([0, 1, 2], [1, 0], [2.5, 2.5])
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(GraphError):
+            make_raw([1, 2], [0], [1.0])
+
+    def test_indptr_must_end_at_len_indices(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 3], [1, 0], [1.0, 1.0])
+
+    def test_indptr_must_be_nondecreasing(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 2, 1, 4], [1, 2, 0, 0], [1.0] * 4)
+
+    def test_odd_arc_count_rejected(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1], [0], [1.0])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 2], [5, 0], [1.0, 1.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 2], [1, 0], [-1.0, -1.0])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 2], [1, 0], [0.0, 0.0])
+
+    def test_infinite_weight_rejected(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 2], [1, 0], [np.inf, np.inf])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 2], [1, 0], [np.nan, np.nan])
+
+    def test_mismatched_weights_length(self):
+        with pytest.raises(GraphError):
+            make_raw([0, 1, 2], [1, 0], [1.0])
+
+
+class TestAccess:
+    def test_neighbors_sorted(self, random_graph):
+        for u in range(random_graph.num_vertices):
+            nbrs = random_graph.neighbors(u)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_neighbor_weights_parallel(self, path_graph):
+        assert list(path_graph.neighbors(1)) == [0, 2]
+        assert list(path_graph.neighbor_weights(1)) == [1.0, 2.0]
+
+    def test_degree_matches_neighbors(self, random_graph):
+        for u in range(random_graph.num_vertices):
+            assert random_graph.degree(u) == len(random_graph.neighbors(u))
+
+    def test_degrees_array(self, star_graph):
+        assert star_graph.degrees.tolist() == [5, 1, 1, 1, 1, 1]
+
+    def test_degree_out_of_range(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.degree(99)
+
+    def test_edges_iterates_each_once(self, random_graph):
+        edges = list(random_graph.edges())
+        assert len(edges) == random_graph.num_edges
+        assert all(u < v for u, v, _ in edges)
+        assert len({(u, v) for u, v, _ in edges}) == len(edges)
+
+    def test_adjacency_lists_match_csr(self, random_graph):
+        adj = random_graph.adjacency_lists()
+        for u in range(random_graph.num_vertices):
+            assert [v for v, _ in adj[u]] == list(random_graph.neighbors(u))
+            assert [w for _, w in adj[u]] == list(
+                random_graph.neighbor_weights(u)
+            )
+
+    def test_adjacency_lists_cached(self, path_graph):
+        assert path_graph.adjacency_lists() is path_graph.adjacency_lists()
+
+    def test_edge_weight_missing_edge(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.edge_weight(0, 3)
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(0, 1)
+        assert path_graph.has_edge(1, 0)
+        assert not path_graph.has_edge(0, 2)
+
+    def test_len_is_vertices(self, path_graph):
+        assert len(path_graph) == 4
+
+
+class TestWholeGraph:
+    def test_total_weight(self, path_graph):
+        assert path_graph.total_weight() == 6.0
+
+    def test_is_connected_true(self, path_graph):
+        assert path_graph.is_connected()
+
+    def test_is_connected_false(self, two_components):
+        assert not two_components.is_connected()
+
+    def test_empty_is_connected(self):
+        assert make_raw([0], [], []).is_connected()
+
+    def test_with_name(self, path_graph):
+        g2 = path_graph.with_name("renamed")
+        assert g2.name == "renamed"
+        assert g2 == path_graph
+
+    def test_reweighted(self, path_graph):
+        g2 = path_graph.reweighted(np.ones(path_graph.num_arcs))
+        assert g2.total_weight() == path_graph.num_edges
+
+    def test_reweighted_wrong_length(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.reweighted([1.0])
+
+    def test_unit_weighted(self, triangle):
+        g2 = triangle.unit_weighted()
+        assert g2.edge_weight(0, 2) == 1.0
+
+    def test_equality(self):
+        a = build_graph([(0, 1, 2.0)])
+        b = build_graph([(0, 1, 2.0)])
+        c = build_graph([(0, 1, 3.0)])
+        assert a == b
+        assert a != c
+
+    def test_equality_other_type(self, path_graph):
+        assert path_graph.__eq__(42) is NotImplemented

@@ -1,0 +1,88 @@
+"""Tests for graph metrics."""
+
+import pytest
+
+from repro.generators import grid_road_network, watts_strogatz
+from repro.graph.metrics import (
+    average_clustering,
+    distance_statistics,
+    estimate_diameter,
+)
+
+from .conftest import build_graph
+
+
+class TestDiameter:
+    def test_path_graph_exact(self, path_graph):
+        # Double sweep is exact on trees: 1 + 2 + 3 = 6.
+        assert estimate_diameter(path_graph, samples=2, seed=0) == 6.0
+
+    def test_star(self, star_graph):
+        # Farthest leaf pair: 4 + 5 = 9.
+        assert estimate_diameter(star_graph, samples=6, seed=0) == 9.0
+
+    def test_lower_bound(self, random_graph):
+        from repro.baselines.apsp import floyd_warshall
+        import numpy as np
+
+        table = floyd_warshall(random_graph)
+        true_diameter = float(table[np.isfinite(table)].max())
+        est = estimate_diameter(random_graph, samples=8, seed=1)
+        assert est <= true_diameter + 1e-9
+        assert est >= 0.5 * true_diameter  # double sweep is tight
+
+    def test_empty(self):
+        assert estimate_diameter(build_graph([], n=0)) == 0.0
+
+    def test_road_larger_than_small_world(self):
+        road = grid_road_network(12, 12, seed=0, weight_dist="unit")
+        social = watts_strogatz(144, 6, 0.3, seed=0, weight_dist="unit")
+        assert estimate_diameter(road, samples=6) > estimate_diameter(
+            social, samples=6
+        )
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        g = build_graph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_star_is_zero(self, star_graph):
+        assert average_clustering(star_graph) == 0.0
+
+    def test_path_is_zero(self, path_graph):
+        assert average_clustering(path_graph) == 0.0
+
+    def test_triangle_plus_pendant(self):
+        g = build_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)]
+        )
+        # Vertices 0,1: coefficient 1; vertex 2: 1/3; vertex 3: 0.
+        assert average_clustering(g) == pytest.approx((1 + 1 + 1 / 3 + 0) / 4)
+
+    def test_max_degree_filter(self, star_graph):
+        # Excluding the hub leaves only degree-1 leaves: 0.
+        assert average_clustering(star_graph, max_degree=2) == 0.0
+
+    def test_empty(self):
+        assert average_clustering(build_graph([], n=0)) == 0.0
+
+
+class TestDistanceStats:
+    def test_path_graph(self, path_graph):
+        stats = distance_statistics(path_graph, samples=4, seed=0)
+        assert stats["max"] == 6.0
+        assert stats["mean_hops"] >= 1.0
+
+    def test_hops_at_most_distance_for_int_weights(self, random_graph):
+        stats = distance_statistics(random_graph, samples=4, seed=0)
+        # Integer weights >= 1 imply hops <= distance.
+        assert stats["mean_hops"] <= stats["mean"]
+
+    def test_empty(self):
+        stats = distance_statistics(build_graph([], n=0))
+        assert stats["mean"] == 0.0
+
+    def test_disconnected_ignores_inf(self, two_components):
+        stats = distance_statistics(two_components, samples=5, seed=0)
+        assert stats["max"] <= 2.0

@@ -1,0 +1,120 @@
+"""Tests for whole-graph operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.ops import (
+    connected_components,
+    degree_histogram,
+    induced_subgraph,
+    largest_connected_component,
+    relabel,
+)
+
+from .conftest import build_graph
+
+
+class TestComponents:
+    def test_single_component(self, path_graph):
+        comp = connected_components(path_graph)
+        assert set(comp.tolist()) == {0}
+
+    def test_two_components_plus_isolate(self, two_components):
+        comp = connected_components(two_components)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert comp[4] not in (comp[0], comp[2])
+
+    def test_component_ids_dense(self, two_components):
+        comp = connected_components(two_components)
+        assert sorted(set(comp.tolist())) == [0, 1, 2]
+
+    def test_empty(self):
+        g = build_graph([], n=0)
+        assert len(connected_components(g)) == 0
+
+
+class TestLCC:
+    def test_extracts_largest(self):
+        g = build_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)], name="g"
+        )
+        sub, keep = largest_connected_component(g)
+        assert sub.num_vertices == 3
+        assert sorted(keep.tolist()) == [0, 1, 2]
+
+    def test_already_connected(self, path_graph):
+        sub, keep = largest_connected_component(path_graph)
+        assert sub.num_vertices == path_graph.num_vertices
+        assert sub.num_edges == path_graph.num_edges
+
+    def test_preserves_weights(self):
+        g = build_graph([(0, 1, 7.0), (2, 3, 1.0), (3, 4, 1.0)])
+        sub, keep = largest_connected_component(g)
+        assert sub.num_vertices == 3  # {2,3,4}
+        assert sub.edge_weight(0, 1) in (1.0,)
+
+
+class TestSubgraph:
+    def test_induced(self, path_graph):
+        sub = induced_subgraph(path_graph, [1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.edge_weight(0, 1) == 2.0  # old edge 1-2
+
+    def test_duplicate_ids_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(path_graph, [0, 0])
+
+    def test_out_of_range_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(path_graph, [0, 99])
+
+    def test_empty_selection(self, path_graph):
+        sub = induced_subgraph(path_graph, [])
+        assert sub.num_vertices == 0
+
+
+class TestRelabel:
+    def test_reverse_permutation(self, path_graph):
+        n = path_graph.num_vertices
+        perm = list(reversed(range(n)))
+        g2 = relabel(path_graph, perm)
+        # old edge (0,1,w=1) becomes (3,2,w=1)
+        assert g2.edge_weight(3, 2) == 1.0
+        assert g2.num_edges == path_graph.num_edges
+
+    def test_identity(self, random_graph):
+        g2 = relabel(random_graph, range(random_graph.num_vertices))
+        assert g2 == random_graph
+
+    def test_not_a_permutation(self, path_graph):
+        with pytest.raises(GraphError):
+            relabel(path_graph, [0, 0, 1, 2])
+
+    def test_wrong_length(self, path_graph):
+        with pytest.raises(GraphError):
+            relabel(path_graph, [0, 1])
+
+    def test_degree_multiset_preserved(self, random_graph):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(random_graph.num_vertices)
+        g2 = relabel(random_graph, perm)
+        assert sorted(g2.degrees.tolist()) == sorted(
+            random_graph.degrees.tolist()
+        )
+
+
+class TestDegreeHistogram:
+    def test_star(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert hist == {5: 1, 1: 5}
+
+    def test_total_counts(self, random_graph):
+        hist = degree_histogram(random_graph)
+        assert sum(hist.values()) == random_graph.num_vertices
+
+    def test_empty(self):
+        assert degree_histogram(build_graph([], n=0)) == {}

@@ -1,0 +1,120 @@
+"""Tests for vertex orderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.graph.order import (
+    by_approx_betweenness,
+    by_degree,
+    by_random,
+    by_weighted_degree,
+    ordering_rank,
+    validate_ordering,
+)
+
+from .conftest import build_graph
+
+
+class TestDegreeOrder:
+    def test_star_hub_first(self, star_graph):
+        order = by_degree(star_graph)
+        assert order[0] == 0
+
+    def test_is_permutation(self, random_graph):
+        order = by_degree(random_graph)
+        assert sorted(order.tolist()) == list(
+            range(random_graph.num_vertices)
+        )
+
+    def test_descending_degrees(self, random_graph):
+        order = by_degree(random_graph)
+        degs = random_graph.degrees[order]
+        assert np.all(np.diff(degs) <= 0)
+
+    def test_tie_break_by_id(self):
+        g = build_graph([(0, 1, 1.0), (2, 3, 1.0)])
+        order = by_degree(g)
+        assert order.tolist() == [0, 1, 2, 3]
+
+
+class TestWeightedDegreeOrder:
+    def test_prefers_light_edges(self):
+        # Vertex 0 has two heavy edges; vertex 3 has two light edges.
+        g = build_graph(
+            [(0, 1, 100.0), (0, 2, 100.0), (3, 4, 1.0), (3, 5, 1.0)]
+        )
+        order = by_weighted_degree(g)
+        assert order[0] == 3
+
+    def test_is_permutation(self, random_graph):
+        order = by_weighted_degree(random_graph)
+        assert sorted(order.tolist()) == list(
+            range(random_graph.num_vertices)
+        )
+
+
+class TestRandomOrder:
+    def test_deterministic_given_seed(self, random_graph):
+        a = by_random(random_graph, seed=5)
+        b = by_random(random_graph, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_order(self, random_graph):
+        a = by_random(random_graph, seed=1)
+        b = by_random(random_graph, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_is_permutation(self, random_graph):
+        order = by_random(random_graph, seed=0)
+        assert sorted(order.tolist()) == list(
+            range(random_graph.num_vertices)
+        )
+
+
+class TestBetweennessOrder:
+    def test_path_center_first(self):
+        # On a path, the middle vertex carries the most shortest paths.
+        g = build_graph([(i, i + 1, 1.0) for i in range(6)])
+        order = by_approx_betweenness(g, samples=7, seed=0)
+        assert order[0] == 3
+
+    def test_star_hub_first(self, star_graph):
+        order = by_approx_betweenness(star_graph, samples=6, seed=0)
+        assert order[0] == 0
+
+    def test_is_permutation(self, random_graph):
+        order = by_approx_betweenness(random_graph, samples=8, seed=0)
+        assert sorted(order.tolist()) == list(
+            range(random_graph.num_vertices)
+        )
+
+    def test_deterministic(self, random_graph):
+        a = by_approx_betweenness(random_graph, samples=8, seed=3)
+        b = by_approx_betweenness(random_graph, samples=8, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_empty_graph(self):
+        g = build_graph([], n=0)
+        assert len(by_approx_betweenness(g)) == 0
+
+
+class TestValidateAndRank:
+    def test_validate_accepts_permutation(self, path_graph):
+        out = validate_ordering(path_graph, [3, 1, 0, 2])
+        assert out.tolist() == [3, 1, 0, 2]
+
+    def test_validate_rejects_wrong_length(self, path_graph):
+        with pytest.raises(OrderingError):
+            validate_ordering(path_graph, [0, 1])
+
+    def test_validate_rejects_duplicates(self, path_graph):
+        with pytest.raises(OrderingError):
+            validate_ordering(path_graph, [0, 0, 1, 2])
+
+    def test_rank_inverts_order(self):
+        order = np.array([2, 0, 3, 1])
+        rank = ordering_rank(order)
+        assert rank.tolist() == [1, 3, 0, 2]
+        for pos, v in enumerate(order):
+            assert rank[v] == pos

@@ -1,0 +1,60 @@
+"""Tests for the deep structural validator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import check_graph
+
+from .conftest import build_graph
+
+
+def test_accepts_builder_output(random_graph):
+    check_graph(random_graph)
+
+
+def test_accepts_empty():
+    g = build_graph([], n=3)
+    check_graph(g)
+
+
+def _raw(indptr, indices, weights):
+    """Bypass constructor checks where possible by mutating afterwards."""
+    g = build_graph([(0, 1, 1.0), (1, 2, 1.0)])
+    g.indptr = np.asarray(indptr, dtype=np.int64)
+    g.indices = np.asarray(indices, dtype=np.int32)
+    g.weights = np.asarray(weights, dtype=np.float64)
+    return g
+
+
+def test_detects_unsorted_neighbors():
+    # Vertex 1's list is [2, 0]: unsorted.
+    g = _raw([0, 1, 3, 4], [1, 2, 0, 1], [1.0, 1.0, 1.0, 1.0])
+    with pytest.raises(GraphError, match="ascending"):
+        check_graph(g)
+
+
+def test_detects_duplicate_neighbor():
+    g = _raw([0, 2, 4], [1, 1, 0, 0], [1.0, 1.0, 1.0, 1.0])
+    with pytest.raises(GraphError, match="ascending"):
+        check_graph(g)
+
+
+def test_detects_self_loop():
+    g = _raw([0, 1, 2], [0, 0], [1.0, 1.0])
+    with pytest.raises(GraphError, match="self loop"):
+        check_graph(g)
+
+
+def test_detects_asymmetric_adjacency():
+    # Arc 0->1 and 0->2 but reverse arcs are 1->0, 2->0 replaced wrongly.
+    g = _raw([0, 2, 3, 4], [1, 2, 0, 1], [1.0, 1.0, 1.0, 1.0])
+    with pytest.raises(GraphError):
+        check_graph(g)
+
+
+def test_detects_asymmetric_weights():
+    g = _raw([0, 1, 2], [1, 0], [1.0, 2.0])
+    with pytest.raises(GraphError, match="weights"):
+        check_graph(g)

@@ -1,0 +1,124 @@
+"""Tests for the PLLIndex facade."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.index import PLLIndex
+from repro.errors import GraphError
+from repro.graph.order import by_degree
+from repro.pq import PQ_IMPLEMENTATIONS
+
+
+class TestBuildQuery:
+    def test_distance_matches_dijkstra(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        for s in (0, 11, 23):
+            truth = dijkstra_sssp(random_graph, s)
+            for t in range(random_graph.num_vertices):
+                assert index.distance(s, t) == truth[t]
+
+    def test_query_hub_is_vertex_id_on_path(self, triangle):
+        index = PLLIndex.build(triangle)
+        res = index.query(0, 2)
+        assert res.distance == 2.0
+        # The meeting hub must realise the distance exactly.
+        h = res.hub
+        truth0 = dijkstra_sssp(triangle, 0)
+        truth2 = dijkstra_sssp(triangle, 2)
+        assert truth0[h] + truth2[h] == 2.0
+
+    def test_unreachable_pair(self, two_components):
+        index = PLLIndex.build(two_components)
+        res = index.query(0, 3)
+        assert res.distance == math.inf
+        assert res.hub is None
+
+    def test_distances_from_batch(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        truth = dijkstra_sssp(random_graph, 5)
+        got = index.distances_from(5, range(random_graph.num_vertices))
+        assert got == truth
+
+    def test_out_of_range_query(self, path_graph):
+        index = PLLIndex.build(path_graph)
+        with pytest.raises(GraphError):
+            index.distance(0, 77)
+        with pytest.raises(GraphError):
+            index.distance(-1, 0)
+
+    def test_avg_label_size(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        assert index.avg_label_size() == pytest.approx(
+            index.store.avg_label_size
+        )
+        assert index.num_vertices == random_graph.num_vertices
+
+    def test_custom_pq(self, random_graph):
+        index = PLLIndex.build(
+            random_graph, pq_factory=PQ_IMPLEMENTATIONS["pairing"]
+        )
+        truth = dijkstra_sssp(random_graph, 1)
+        assert index.distance(1, 20) == truth[20]
+
+    def test_custom_order(self, random_graph):
+        order = list(reversed(by_degree(random_graph).tolist()))
+        index = PLLIndex.build(random_graph, order=order)
+        truth = dijkstra_sssp(random_graph, 2)
+        assert index.distance(2, 17) == truth[17]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, random_graph, tmp_path):
+        index = PLLIndex.build(random_graph)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PLLIndex.load(path)
+        for s in (0, 3):
+            for t in range(random_graph.num_vertices):
+                assert loaded.distance(s, t) == index.distance(s, t)
+
+    def test_load_without_graph_queries_fine(self, path_graph, tmp_path):
+        index = PLLIndex.build(path_graph)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PLLIndex.load(path)
+        assert loaded.graph is None
+        assert loaded.distance(0, 3) == 6.0
+
+    def test_load_with_graph_enables_verify(self, path_graph, tmp_path):
+        index = PLLIndex.build(path_graph)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PLLIndex.load(path, graph=path_graph)
+        loaded.verify_against_dijkstra([0, 1])
+
+    def test_hub_ids_survive_roundtrip(self, triangle, tmp_path):
+        index = PLLIndex.build(triangle)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PLLIndex.load(path)
+        assert loaded.query(0, 2).hub == index.query(0, 2).hub
+
+
+class TestVerify:
+    def test_verify_passes(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        index.verify_against_dijkstra(range(0, 40, 10))
+
+    def test_verify_without_graph_raises(self, path_graph, tmp_path):
+        index = PLLIndex.build(path_graph)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PLLIndex.load(path)
+        with pytest.raises(GraphError):
+            loaded.verify_against_dijkstra([0])
+
+    def test_verify_detects_corruption(self, path_graph):
+        index = PLLIndex.build(path_graph)
+        # Corrupt one finalized distance.
+        index.store.finalize()
+        index.store._finalized_dists[3][:] = 999.0
+        with pytest.raises(AssertionError):
+            index.verify_against_dijkstra([0])

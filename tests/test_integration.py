@@ -1,0 +1,138 @@
+"""Cross-module integration tests: full pipelines on dataset stand-ins."""
+
+import math
+
+import pytest
+
+from repro import PLLIndex, load_dataset
+from repro.baselines.bidirectional import bidirectional_dijkstra
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.bench.harness import serial_reference
+from repro.cluster.network import NetworkModel
+from repro.cluster.parapll import simulate_cluster
+from repro.core.serial import build_serial
+from repro.core.stats import label_cdf, roots_to_reach
+from repro.parallel.threads import build_parallel_threads
+from repro.sim.executor import simulate_intra_node
+
+
+@pytest.fixture(scope="module")
+def gnutella():
+    return load_dataset("Gnutella", scale=0.4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_dataset("DE-USA", scale=0.3, seed=5)
+
+
+class TestFullPipelines:
+    def test_all_builders_agree_on_queries(self, gnutella):
+        """Serial, threaded, simulated, and cluster builds answer alike."""
+        g = gnutella
+        serial = PLLIndex.build(g)
+        threaded = build_parallel_threads(g, 4, policy="dynamic")
+        simulated, _ = simulate_intra_node(g, 6, jitter=0.2, seed=1)
+        clustered, _ = simulate_cluster(
+            g, 3, threads_per_node=2,
+            network=NetworkModel(latency_units=1, per_entry_units=0.0),
+        )
+        for s in (0, 33):
+            truth = dijkstra_sssp(g, s)
+            for t in range(0, g.num_vertices, 3):
+                assert serial.distance(s, t) == truth[t]
+                assert threaded.distance(s, t) == truth[t]
+                assert simulated.distance(s, t) == truth[t]
+                assert clustered.distance(s, t) == truth[t]
+
+    def test_road_network_pipeline(self, road):
+        index = PLLIndex.build(road)
+        for s in (0, 50):
+            truth = dijkstra_sssp(road, s)
+            for t in range(0, road.num_vertices, 11):
+                assert index.distance(s, t) == truth[t]
+                assert bidirectional_dijkstra(road, s, t) == truth[t]
+
+    def test_index_roundtrip_through_disk(self, gnutella, tmp_path):
+        index = PLLIndex.build(gnutella)
+        p = tmp_path / "gnutella.idx.npz"
+        index.save(p)
+        loaded = PLLIndex.load(p, graph=gnutella)
+        loaded.verify_against_dijkstra([0, 17])
+
+
+class TestPaperPhenomena:
+    """The qualitative claims of the evaluation section, asserted."""
+
+    def test_simulated_speedup_grows(self, gnutella):
+        _store, _stats, cost = serial_reference(gnutella)
+        times = []
+        for p in (1, 4, 12):
+            _idx, run = simulate_intra_node(
+                gnutella, p, cost_model=cost,
+                jitter=0.15, worker_jitter=0.25, seed=2,
+            )
+            times.append(run.makespan)
+        assert times[0] > times[1] > times[2]
+        assert times[0] / times[2] > 3.0  # meaningful 12-thread speedup
+
+    def test_one_thread_matches_serial_time_base(self, gnutella):
+        """Calibration: simulated 1-thread IT ~ measured serial IT."""
+        _store, stats, cost = serial_reference(gnutella)
+        _idx, run = simulate_intra_node(gnutella, 1, cost_model=cost)
+        assert run.makespan == pytest.approx(
+            stats.build_seconds, rel=0.05
+        )
+
+    def test_fig6_front_loading(self, gnutella):
+        """~90% of labels come from a small prefix of roots."""
+        _store, stats = build_serial(gnutella, collect_per_root=True)
+        cdf = label_cdf(stats.per_root)
+        k90 = roots_to_reach(cdf, 0.9)
+        assert k90 < gnutella.num_vertices * 0.5
+
+    def test_cluster_label_growth_bounded_with_early_syncs(self, gnutella):
+        serial_store, _ = build_serial(gnutella)
+        index, _run = simulate_cluster(
+            gnutella, 4, threads_per_node=2, syncs=6,
+            sync_schedule="early",
+            network=NetworkModel(latency_units=1, per_entry_units=0.0),
+        )
+        growth = index.store.total_entries / serial_store.total_entries
+        assert growth < 3.0
+
+    def test_sync_tradeoff_directions(self, gnutella):
+        """Figure 7: label size falls with c; comm time rises with c."""
+        net = NetworkModel(latency_units=200.0, per_entry_units=0.05)
+        results = {}
+        for c in (1, 8):
+            index, run = simulate_cluster(
+                gnutella, 4, threads_per_node=2, syncs=c, network=net
+            )
+            results[c] = (index.store.total_entries, run.communication_time)
+        assert results[8][0] < results[1][0]
+        assert results[8][1] > results[1][1]
+
+    def test_query_faster_than_dijkstra(self, gnutella):
+        """The whole point of indexing: sub-linear query cost."""
+        import time
+
+        index = PLLIndex.build(gnutella)
+        pairs = [(i, (i * 37) % gnutella.num_vertices) for i in range(100)]
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            index.distance(s, t)
+        indexed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for s, t in pairs[:10]:
+            dijkstra_sssp(gnutella, s)
+        online = (time.perf_counter() - t0) * 10
+        assert indexed < online
+
+    def test_unreachable_handling_everywhere(self, two_components):
+        index = PLLIndex.build(two_components)
+        threaded = build_parallel_threads(two_components, 2)
+        sim, _ = simulate_intra_node(two_components, 2)
+        assert index.distance(0, 2) == math.inf
+        assert threaded.distance(0, 2) == math.inf
+        assert sim.distance(0, 2) == math.inf

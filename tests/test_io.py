@@ -1,0 +1,144 @@
+"""Tests for the edge-list, DIMACS, and npz readers/writers."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.io.dimacs import read_dimacs, write_dimacs
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.npz import load_graph_npz, save_graph_npz
+
+from .conftest import build_graph
+
+
+class TestEdgelistRead:
+    def test_weighted(self):
+        g, ids = read_edgelist(io.StringIO("0 1 2.5\n1 2 1.0\n"))
+        assert g.num_edges == 2
+        assert g.edge_weight(ids[0], ids[1]) == 2.5
+
+    def test_unweighted_default(self):
+        g, _ = read_edgelist(io.StringIO("0 1\n"), default_weight=3.0)
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_comments_and_blanks(self):
+        text = "# comment\n% other\n\n0 1 1\n"
+        g, _ = read_edgelist(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_sparse_ids_densified(self):
+        g, ids = read_edgelist(io.StringIO("100 200 1\n200 5000 2\n"))
+        assert g.num_vertices == 3
+        assert ids == {100: 0, 200: 1, 5000: 2}
+
+    def test_self_loops_dropped(self):
+        g, _ = read_edgelist(io.StringIO("1 1 4\n1 2 1\n"))
+        assert g.num_edges == 1
+
+    def test_duplicate_keeps_min(self):
+        g, ids = read_edgelist(io.StringIO("0 1 5\n1 0 2\n"))
+        assert g.edge_weight(ids[0], ids[1]) == 2.0
+
+    def test_wrong_columns(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_edgelist(io.StringIO("0 1 2 3\n"))
+
+    def test_non_numeric(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("a b\n"))
+
+    def test_negative_id(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("-1 2\n"))
+
+    def test_bad_weight(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("0 1 -5\n"))
+
+    def test_roundtrip_via_file(self, tmp_path, random_graph):
+        path = tmp_path / "g.txt"
+        write_edgelist(random_graph, path)
+        back, ids = read_edgelist(path)
+        assert back.num_edges == random_graph.num_edges
+        # ids maps original vertex -> dense id in first-appearance order;
+        # the mapped edges must match weights exactly.
+        for u, v, w in random_graph.edges():
+            assert back.edge_weight(ids[u], ids[v]) == w
+
+
+class TestDimacs:
+    GOOD = "c comment\np sp 3 4\na 1 2 5\na 2 1 5\na 2 3 1\na 3 2 1\n"
+
+    def test_read(self):
+        g = read_dimacs(io.StringIO(self.GOOD))
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 5.0
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError, match="problem line"):
+            read_dimacs(io.StringIO("c nothing\n"))
+
+    def test_arc_before_problem(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("a 1 2 3\np sp 2 2\n"))
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            read_dimacs(io.StringIO("p sp 2 2\np sp 2 2\n"))
+
+    def test_bad_problem_format(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("p xx 2 2\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            read_dimacs(io.StringIO("p sp 1 0\nz 1 2\n"))
+
+    def test_bad_arc_arity(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 2\n"))
+
+    def test_too_many_arcs(self):
+        text = "p sp 2 1\na 1 2 1\na 2 1 1\n"
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_dimacs(io.StringIO(text))
+
+    def test_asymmetric_weights_take_min(self):
+        text = "p sp 2 2\na 1 2 5\na 2 1 3\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_roundtrip(self, tmp_path, random_graph):
+        path = tmp_path / "g.gr"
+        write_dimacs(random_graph, path)
+        back = read_dimacs(path)
+        assert back.num_edges == random_graph.num_edges
+        for u, v, w in random_graph.edges():
+            assert back.edge_weight(u, v) == w
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, random_graph):
+        path = tmp_path / "g.npz"
+        save_graph_npz(random_graph, path)
+        back = load_graph_npz(path)
+        assert back == random_graph
+        assert back.name == random_graph.name
+
+    def test_empty_graph(self, tmp_path):
+        g = build_graph([], n=4, name="empty")
+        path = tmp_path / "e.npz"
+        save_graph_npz(g, path)
+        back = load_graph_npz(path)
+        assert back.num_vertices == 4
+        assert back.num_edges == 0
+
+    def test_not_a_graph_file(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_graph_npz(path)

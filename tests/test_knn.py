@@ -1,0 +1,106 @@
+"""Tests for k-nearest-neighbour queries over inverted labels."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.index import PLLIndex
+from repro.core.knn import KNNIndex
+from repro.errors import GraphError
+
+
+def brute_force_knn(graph, s, k, include_self=False):
+    dist = dijkstra_sssp(graph, s)
+    items = [
+        (d, v)
+        for v, d in enumerate(dist)
+        if d != math.inf and (include_self or v != s)
+    ]
+    items.sort()
+    return [(v, d) for d, v in items[:k]]
+
+
+@pytest.fixture
+def knn(random_graph):
+    return KNNIndex(PLLIndex.build(random_graph).store)
+
+
+class TestKNearest:
+    def test_matches_brute_force_distances(self, random_graph, knn):
+        for s in (0, 7, 21):
+            got = knn.k_nearest(s, 5)
+            want = brute_force_knn(random_graph, s, 5)
+            assert [d for _v, d in got] == [d for _v, d in want]
+
+    def test_exact_distances_returned(self, random_graph, knn):
+        truth = dijkstra_sssp(random_graph, 3)
+        for v, d in knn.k_nearest(3, 10):
+            assert d == truth[v]
+
+    def test_include_self(self, random_graph, knn):
+        got = knn.k_nearest(4, 3, include_self=True)
+        assert got[0] == (4, 0.0)
+
+    def test_excludes_self_by_default(self, random_graph, knn):
+        got = knn.k_nearest(4, 5)
+        assert all(v != 4 for v, _d in got)
+
+    def test_k_zero(self, knn):
+        assert knn.k_nearest(0, 0) == []
+
+    def test_k_larger_than_component(self, two_components):
+        knn = KNNIndex(PLLIndex.build(two_components).store)
+        got = knn.k_nearest(0, 10)
+        assert got == [(1, 1.0)]
+
+    def test_sorted_output(self, knn):
+        got = knn.k_nearest(1, 12)
+        dists = [d for _v, d in got]
+        assert dists == sorted(dists)
+
+    def test_invalid_inputs(self, knn):
+        with pytest.raises(GraphError):
+            knn.k_nearest(999, 3)
+        with pytest.raises(GraphError):
+            knn.k_nearest(0, -1)
+
+    def test_many_random_queries(self, random_graph, knn):
+        rng = random.Random(0)
+        for _ in range(15):
+            s = rng.randrange(random_graph.num_vertices)
+            k = rng.randint(1, 8)
+            got = knn.k_nearest(s, k)
+            want = brute_force_knn(random_graph, s, k)
+            assert [d for _v, d in got] == [d for _v, d in want]
+
+
+class TestWithinRadius:
+    def test_matches_brute_force(self, random_graph, knn):
+        truth = dijkstra_sssp(random_graph, 5)
+        got = knn.within_radius(5, 7.0)
+        want = sorted(
+            (d, v)
+            for v, d in enumerate(truth)
+            if v != 5 and d <= 7.0
+        )
+        assert sorted((d, v) for v, d in got) == want
+
+    def test_zero_radius(self, knn):
+        assert knn.within_radius(2, 0.0) == []
+
+    def test_radius_covers_component(self, two_components):
+        knn = KNNIndex(PLLIndex.build(two_components).store)
+        got = knn.within_radius(0, 100.0)
+        assert got == [(1, 1.0)]
+
+
+class TestStructure:
+    def test_top_hub_has_big_inverted_list(self, random_graph, knn):
+        assert knn.hub_list_size(0) > knn.hub_list_size(
+            random_graph.num_vertices - 1
+        )
+
+    def test_num_vertices(self, random_graph, knn):
+        assert knn.num_vertices == random_graph.num_vertices

@@ -1,0 +1,188 @@
+"""Tests for the LabelStore."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import LabelStore
+from repro.errors import GraphError, NotIndexedError
+
+
+class TestMutation:
+    def test_starts_empty(self):
+        store = LabelStore(4)
+        assert store.total_entries == 0
+        assert store.label_sizes() == [0, 0, 0, 0]
+        assert store.avg_label_size == 0.0
+
+    def test_add(self):
+        store = LabelStore(3)
+        store.add(1, 0, 2.5)
+        assert store.label_size(1) == 1
+        assert store.entries_of(1) == [(0, 2.5)]
+        assert store.hubs_of(1) == [0]
+        assert store.dists_of(1) == [2.5]
+
+    def test_add_delta(self):
+        store = LabelStore(3)
+        n = store.add_delta([(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0)])
+        assert n == 3
+        assert store.total_entries == 3
+        assert store.label_size(1) == 2
+
+    def test_avg_label_size(self):
+        store = LabelStore(2)
+        store.add(0, 0, 1.0)
+        store.add(0, 1, 1.0)
+        assert store.avg_label_size == 1.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            LabelStore(-1)
+
+    def test_empty_store(self):
+        store = LabelStore(0)
+        assert store.avg_label_size == 0.0
+        store.finalize()
+        assert store.to_arrays()["indptr"].tolist() == [0]
+
+
+class TestFinalize:
+    def test_requires_finalize(self):
+        store = LabelStore(2)
+        store.add(0, 0, 1.0)
+        with pytest.raises(NotIndexedError):
+            store.finalized_hubs(0)
+        with pytest.raises(NotIndexedError):
+            store.finalized_dists(0)
+
+    def test_sorts_by_hub(self):
+        store = LabelStore(1)
+        store.add(0, 3, 1.0)
+        store.add(0, 1, 2.0)
+        store.add(0, 2, 3.0)
+        store.finalize()
+        assert store.finalized_hubs(0).tolist() == [1, 2, 3]
+        assert store.finalized_dists(0).tolist() == [2.0, 3.0, 1.0]
+
+    def test_dedupes_keeping_min_distance(self):
+        store = LabelStore(1)
+        store.add(0, 5, 9.0)
+        store.add(0, 5, 4.0)
+        store.finalize()
+        assert store.finalized_hubs(0).tolist() == [5]
+        assert store.finalized_dists(0).tolist() == [4.0]
+
+    def test_finalize_idempotent(self):
+        store = LabelStore(1)
+        store.add(0, 0, 1.0)
+        store.finalize()
+        first = store.finalized_hubs(0)
+        store.finalize()
+        assert store.finalized_hubs(0) is first
+
+    def test_mutation_invalidates_finalize(self):
+        store = LabelStore(1)
+        store.add(0, 0, 1.0)
+        store.finalize()
+        store.add(0, 1, 2.0)
+        store.finalize()
+        assert store.finalized_hubs(0).tolist() == [0, 1]
+
+    def test_write_order_dists_before_hubs(self):
+        """The lock-free-reader invariant: len(dists) >= len(hubs)."""
+        store = LabelStore(1)
+        # add() appends dist first; simulate interleaving by checking
+        # the internal lists after each add.
+        for i in range(5):
+            store.add(0, i, float(i))
+            assert len(store.dists_of(0)) >= len(store.hubs_of(0))
+
+
+class TestMergeCopy:
+    def test_copy_independent(self):
+        a = LabelStore(2)
+        a.add(0, 0, 1.0)
+        b = a.copy()
+        b.add(0, 1, 2.0)
+        assert a.label_size(0) == 1
+        assert b.label_size(0) == 2
+
+    def test_merge_from_unions(self):
+        a = LabelStore(2)
+        a.add(0, 0, 1.0)
+        b = LabelStore(2)
+        b.add(0, 1, 2.0)
+        b.add(1, 0, 3.0)
+        added = a.merge_from(b)
+        assert added == 2
+        assert a.total_entries == 3
+
+    def test_merge_skips_duplicates(self):
+        a = LabelStore(1)
+        a.add(0, 0, 1.0)
+        b = LabelStore(1)
+        b.add(0, 0, 1.0)
+        assert a.merge_from(b) == 0
+        assert a.total_entries == 1
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(GraphError):
+            LabelStore(1).merge_from(LabelStore(2))
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        store = LabelStore(3)
+        store.add(0, 0, 1.0)
+        store.add(2, 0, 2.0)
+        store.add(2, 1, 3.5)
+        arrays = store.to_arrays()
+        back = LabelStore.from_arrays(**arrays)
+        assert back == store
+
+    def test_roundtrip_applies_dedupe(self):
+        store = LabelStore(1)
+        store.add(0, 0, 5.0)
+        store.add(0, 0, 3.0)
+        back = LabelStore.from_arrays(**store.to_arrays())
+        assert back.entries_of(0) == [(0, 3.0)]
+
+    def test_from_arrays_validates_indptr(self):
+        with pytest.raises(GraphError):
+            LabelStore.from_arrays([0, 5], [0], [1.0])
+
+    def test_from_arrays_validates_lengths(self):
+        with pytest.raises(GraphError):
+            LabelStore.from_arrays([0, 1], [0], [1.0, 2.0])
+
+    def test_to_arrays_shapes(self):
+        store = LabelStore(2)
+        store.add(0, 0, 1.0)
+        arrays = store.to_arrays()
+        assert arrays["indptr"].tolist() == [0, 1, 1]
+        assert arrays["hubs"].dtype == np.int64
+        assert arrays["dists"].dtype == np.float64
+
+
+class TestEquality:
+    def test_equal_ignores_order(self):
+        a = LabelStore(1)
+        a.add(0, 0, 1.0)
+        a.add(0, 1, 2.0)
+        b = LabelStore(1)
+        b.add(0, 1, 2.0)
+        b.add(0, 0, 1.0)
+        assert a == b
+
+    def test_unequal_distance(self):
+        a = LabelStore(1)
+        a.add(0, 0, 1.0)
+        b = LabelStore(1)
+        b.add(0, 0, 2.0)
+        assert a != b
+
+    def test_unequal_size(self):
+        assert LabelStore(1) != LabelStore(2)
+
+    def test_other_type(self):
+        assert LabelStore(1).__eq__("x") is NotImplemented

@@ -1,0 +1,63 @@
+"""Tests for the cluster network cost model."""
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.errors import CommError
+
+
+class TestStages:
+    def test_single_node_no_stages(self):
+        assert NetworkModel().stages(1) == 0
+
+    def test_powers_of_two(self):
+        net = NetworkModel()
+        assert net.stages(2) == 1
+        assert net.stages(4) == 2
+        assert net.stages(8) == 3
+
+    def test_non_powers_round_up(self):
+        net = NetworkModel()
+        assert net.stages(3) == 2
+        assert net.stages(6) == 3
+
+    def test_invalid(self):
+        with pytest.raises(CommError):
+            NetworkModel().stages(0)
+
+
+class TestBroadcast:
+    def test_formula(self):
+        net = NetworkModel(latency_units=10.0, per_entry_units=2.0)
+        # 4 nodes -> 2 stages; (10 + 2*5) * 2 = 40.
+        assert net.broadcast_units(5, 4) == 40.0
+
+    def test_zero_on_single_node(self):
+        assert NetworkModel().broadcast_units(100, 1) == 0.0
+
+    def test_negative_entries(self):
+        with pytest.raises(CommError):
+            NetworkModel().broadcast_units(-1, 2)
+
+
+class TestExchange:
+    def test_sums_broadcasts(self):
+        net = NetworkModel(latency_units=1.0, per_entry_units=1.0)
+        # q=2, 1 stage each: (1+3) + (1+5) = 10.
+        assert net.exchange_units([3, 5], 2) == 10.0
+
+    def test_grows_with_nodes(self):
+        net = NetworkModel()
+        a = net.exchange_units([10, 10], 2)
+        b = net.exchange_units([10, 10, 10, 10], 4)
+        assert b > a
+
+    def test_wrong_count(self):
+        with pytest.raises(CommError):
+            NetworkModel().exchange_units([1, 2, 3], 2)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(CommError):
+            NetworkModel(latency_units=-1.0)
+        with pytest.raises(CommError):
+            NetworkModel(per_entry_units=-0.5)

@@ -1,0 +1,90 @@
+"""Tests for inter-node partitioning and sync-chunk schedules."""
+
+import pytest
+
+from repro.cluster.partition import round_robin_partition, split_chunks
+from repro.errors import TaskError
+
+
+class TestRoundRobin:
+    def test_deal(self):
+        parts = round_robin_partition([9, 8, 7, 6, 5], 2)
+        assert parts == [[9, 7, 5], [8, 6]]
+
+    def test_single_node(self):
+        assert round_robin_partition([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_more_nodes_than_tasks(self):
+        parts = round_robin_partition([1, 2], 4)
+        assert parts == [[1], [2], [], []]
+
+    def test_covers_everything_once(self):
+        parts = round_robin_partition(range(100), 7)
+        flat = sorted(x for p in parts for x in p)
+        assert flat == list(range(100))
+
+    def test_invalid_nodes(self):
+        with pytest.raises(TaskError):
+            round_robin_partition([1], 0)
+
+
+class TestUniformChunks:
+    def test_even_split(self):
+        chunks = split_chunks(list(range(6)), 3)
+        assert chunks == [[0, 1], [2, 3], [4, 5]]
+
+    def test_remainder_goes_early(self):
+        chunks = split_chunks(list(range(7)), 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+
+    def test_single_chunk(self):
+        assert split_chunks([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_more_chunks_than_tasks(self):
+        chunks = split_chunks([1, 2], 5)
+        assert sum(len(c) for c in chunks) == 2
+        assert len(chunks) == 5  # empty syncs still happen
+
+    def test_preserves_order(self):
+        chunks = split_chunks([5, 3, 1], 2)
+        assert [x for c in chunks for x in c] == [5, 3, 1]
+
+    def test_invalid_count(self):
+        with pytest.raises(TaskError):
+            split_chunks([1], 0)
+
+
+class TestEarlyChunks:
+    def test_geometric_growth(self):
+        chunks = split_chunks(list(range(150)), 4, schedule="early")
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == 150
+        # Sizes grow (roughly doubling) toward the end.
+        assert sizes[0] < sizes[-1]
+        assert sizes == sorted(sizes)
+
+    def test_first_chunk_small(self):
+        chunks = split_chunks(list(range(100)), 4, schedule="early")
+        # 2^1-1 / 15 of 100 ~ 7.
+        assert len(chunks[0]) <= 10
+
+    def test_min_chunk_enforced(self):
+        chunks = split_chunks(list(range(100)), 6, schedule="early", min_chunk=6)
+        for c in chunks[:-1]:
+            assert len(c) >= 6
+
+    def test_min_chunk_with_tiny_input(self):
+        chunks = split_chunks([1, 2, 3], 4, schedule="early", min_chunk=8)
+        assert sum(len(c) for c in chunks) == 3
+
+    def test_covers_everything(self):
+        chunks = split_chunks(list(range(77)), 5, schedule="early")
+        assert [x for c in chunks for x in c] == list(range(77))
+
+    def test_invalid_min_chunk(self):
+        with pytest.raises(TaskError):
+            split_chunks([1], 1, min_chunk=0)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(TaskError):
+            split_chunks([1], 1, schedule="late")

@@ -1,0 +1,81 @@
+"""Tests for shortest-path reconstruction over the index."""
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.index import PLLIndex
+from repro.core.paths import reconstruct_shortest_path
+from repro.errors import GraphError
+
+from .conftest import build_graph
+
+
+def path_weight(graph, path):
+    return sum(
+        graph.edge_weight(u, v) for u, v in zip(path, path[1:])
+    )
+
+
+class TestReconstruction:
+    def test_path_graph(self, path_graph):
+        index = PLLIndex.build(path_graph)
+        assert index.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_triangle_takes_detour(self, triangle):
+        index = PLLIndex.build(triangle)
+        assert index.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_trivial_path(self, path_graph):
+        index = PLLIndex.build(path_graph)
+        assert index.shortest_path(2, 2) == [2]
+
+    def test_unreachable_returns_none(self, two_components):
+        index = PLLIndex.build(two_components)
+        assert index.shortest_path(0, 3) is None
+
+    def test_paths_are_optimal_everywhere(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        for s in (0, 9):
+            truth = dijkstra_sssp(random_graph, s)
+            for t in range(0, random_graph.num_vertices, 5):
+                path = index.shortest_path(s, t)
+                if truth[t] == float("inf"):
+                    assert path is None
+                    continue
+                assert path[0] == s and path[-1] == t
+                assert path_weight(random_graph, path) == pytest.approx(
+                    truth[t]
+                )
+                # Simple path: no repeated vertices.
+                assert len(set(path)) == len(path)
+
+    def test_adjacent_vertices(self, star_graph):
+        index = PLLIndex.build(star_graph)
+        assert index.shortest_path(0, 3) == [0, 3]
+
+    def test_leaf_to_leaf_through_hub(self, star_graph):
+        index = PLLIndex.build(star_graph)
+        assert index.shortest_path(1, 5) == [1, 0, 5]
+
+
+class TestErrors:
+    def test_requires_graph(self, path_graph, tmp_path):
+        index = PLLIndex.build(path_graph)
+        f = tmp_path / "i.npz"
+        index.save(f)
+        loaded = PLLIndex.load(f)  # no graph attached
+        with pytest.raises(GraphError, match="needs the graph"):
+            loaded.shortest_path(0, 3)
+
+    def test_mismatched_graph_detected(self, path_graph):
+        index = PLLIndex.build(path_graph)
+        other = build_graph(
+            [(0, 1, 100.0), (1, 2, 100.0), (2, 3, 100.0)]
+        )
+        with pytest.raises(GraphError, match="does not match"):
+            reconstruct_shortest_path(index, other, 0, 3)
+
+    def test_vertex_out_of_range(self, path_graph):
+        index = PLLIndex.build(path_graph)
+        with pytest.raises(GraphError):
+            index.shortest_path(0, 99)

@@ -1,0 +1,169 @@
+"""Tests for the three priority-queue implementations.
+
+All three are checked against the same behavioural contract, plus a
+hypothesis heap-sort property comparing them with ``sorted``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pq import (
+    PQ_IMPLEMENTATIONS,
+    AddressableBinaryHeap,
+    LazyHeapPQ,
+    PairingHeap,
+)
+
+ALL = list(PQ_IMPLEMENTATIONS.values())
+
+
+@pytest.fixture(params=ALL, ids=list(PQ_IMPLEMENTATIONS))
+def pq(request):
+    return request.param()
+
+
+class TestContract:
+    def test_empty(self, pq):
+        assert len(pq) == 0
+        assert not pq
+
+    def test_pop_empty_raises(self, pq):
+        with pytest.raises(IndexError):
+            pq.pop_min()
+
+    def test_peek_empty_raises(self, pq):
+        with pytest.raises(IndexError):
+            pq.peek()
+
+    def test_push_pop_single(self, pq):
+        pq.push(7, 3.5)
+        assert len(pq) == 1
+        assert pq
+        assert pq.peek() == (3.5, 7)
+        assert pq.pop_min() == (3.5, 7)
+        assert len(pq) == 0
+
+    def test_orders_by_key(self, pq):
+        pq.push(1, 5.0)
+        pq.push(2, 1.0)
+        pq.push(3, 3.0)
+        assert [pq.pop_min()[1] for _ in range(3)] == [2, 3, 1]
+
+    def test_decrease_key(self, pq):
+        pq.push(1, 10.0)
+        pq.push(2, 5.0)
+        pq.push(1, 1.0)  # decrease
+        assert pq.pop_min() == (1.0, 1)
+        assert pq.pop_min() == (5.0, 2)
+
+    def test_increase_key_ignored(self, pq):
+        pq.push(1, 1.0)
+        pq.push(1, 10.0)  # ignored
+        assert pq.pop_min() == (1.0, 1)
+        assert len(pq) == 0
+
+    def test_equal_key_ignored(self, pq):
+        pq.push(1, 2.0)
+        pq.push(1, 2.0)
+        assert len(pq) == 1
+        pq.pop_min()
+        assert len(pq) == 0
+
+    def test_contains(self, pq):
+        pq.push(4, 1.0)
+        assert 4 in pq
+        assert 5 not in pq
+        pq.pop_min()
+        assert 4 not in pq
+
+    def test_key_of(self, pq):
+        pq.push(4, 2.5)
+        assert pq.key_of(4) == 2.5
+        pq.push(4, 1.5)
+        assert pq.key_of(4) == 1.5
+        with pytest.raises(KeyError):
+            pq.key_of(99)
+
+    def test_reinsertion_after_pop(self, pq):
+        pq.push(1, 5.0)
+        pq.pop_min()
+        pq.push(1, 2.0)
+        assert pq.pop_min() == (2.0, 1)
+
+    def test_interleaved_operations(self, pq):
+        pq.push(1, 9.0)
+        pq.push(2, 4.0)
+        assert pq.pop_min()[1] == 2
+        pq.push(3, 1.0)
+        pq.push(1, 2.0)  # decrease 1 below 3? no: 2.0 > 1.0
+        assert pq.pop_min()[1] == 3
+        assert pq.pop_min() == (2.0, 1)
+
+    def test_many_items_sorted(self, pq):
+        import random
+
+        rng = random.Random(0)
+        keys = {i: rng.random() for i in range(200)}
+        for item, key in keys.items():
+            pq.push(item, key)
+        out = [pq.pop_min() for _ in range(len(keys))]
+        assert out == sorted(out)
+        assert {item for _k, item in out} == set(keys)
+
+
+@pytest.mark.parametrize("impl", ALL, ids=list(PQ_IMPLEMENTATIONS))
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.floats(0, 100, allow_nan=False)),
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_model(impl, ops):
+    """Push a random sequence; drain; compare with a dict-based model."""
+    pq = impl()
+    model = {}
+    for item, key in ops:
+        pq.push(item, key)
+        if item not in model or key < model[item]:
+            model[item] = key
+    assert len(pq) == len(model)
+    drained = []
+    while pq:
+        drained.append(pq.pop_min())
+    keys = [k for k, _ in drained]
+    assert keys == sorted(keys)  # non-decreasing keys (tie order is free)
+    assert {i: k for k, i in drained} == model
+
+
+def test_pairing_heap_deep_merge():
+    """Regression: the iterative two-pass merge must survive long chains."""
+    pq = PairingHeap()
+    for i in range(5000):
+        pq.push(i, float(i))
+    for i in range(5000):
+        assert pq.pop_min() == (float(i), i)
+
+
+def test_lazy_heap_discards_stale_entries_on_peek():
+    pq = LazyHeapPQ()
+    pq.push(1, 10.0)
+    pq.push(1, 5.0)
+    pq.push(1, 2.0)
+    assert pq.peek() == (2.0, 1)
+    assert pq.pop_min() == (2.0, 1)
+    assert not pq
+
+
+def test_binary_heap_positions_consistent():
+    pq = AddressableBinaryHeap()
+    for i in range(50):
+        pq.push(i, float(50 - i))
+    for i in range(0, 50, 2):
+        pq.push(i, -float(i))  # decrease half the keys
+    prev = float("-inf")
+    while pq:
+        k, _ = pq.pop_min()
+        assert k >= prev
+        prev = k

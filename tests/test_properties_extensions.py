@@ -1,0 +1,118 @@
+"""Property-based tests for the extension subsystems.
+
+Random graphs + random mutations, each checked against an independent
+ground truth: directed PLL vs. directed Dijkstra, dynamic insertions
+vs. rebuilt-from-scratch, CH vs. Dijkstra, kNN vs. sorted scan.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.dynamic import DynamicPLL
+from repro.core.index import PLLIndex
+from repro.core.knn import KNNIndex
+from repro.digraph import DiGraphBuilder, DirectedPLLIndex, dijkstra_forward
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+@st.composite
+def small_graph(draw, max_n=12, max_m=26):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, max_m))
+    b = GraphBuilder(num_vertices=n)
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        w = draw(st.floats(0.5, 20.0, allow_nan=False))
+        if u != v:
+            b.add_edge(u, v, w)
+    return b.build()
+
+
+@st.composite
+def small_digraph(draw, max_n=10, max_m=24):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, max_m))
+    b = DiGraphBuilder(num_vertices=n)
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        w = draw(st.floats(0.5, 20.0, allow_nan=False))
+        if u != v:
+            b.add_arc(u, v, w)
+    return b.build()
+
+
+@given(small_digraph())
+@settings(max_examples=40, deadline=None)
+def test_directed_pll_equals_directed_dijkstra(digraph):
+    idx = DirectedPLLIndex(digraph)
+    idx.build()
+    for s in range(digraph.num_vertices):
+        truth = dijkstra_forward(digraph, s)
+        for t in range(digraph.num_vertices):
+            got = idx.distance(s, t)
+            assert got == truth[t] or math.isclose(got, truth[t])
+
+
+@given(
+    small_graph(),
+    st.lists(
+        st.tuples(
+            st.integers(0, 11),
+            st.integers(0, 11),
+            st.floats(0.5, 10.0, allow_nan=False),
+        ),
+        max_size=5,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_dynamic_insertions_stay_exact(graph, inserts):
+    dyn = DynamicPLL(PLLIndex.build(graph))
+    n = graph.num_vertices
+    for a, b, w in inserts:
+        if a >= n or b >= n:
+            continue
+        try:
+            dyn.insert_edge(a, b, w)
+        except GraphError:
+            continue  # self loop or duplicate
+    current = dyn.current_graph()
+    for s in range(n):
+        truth = dijkstra_sssp(current, s)
+        for t in range(n):
+            got = dyn.distance(s, t)
+            assert got == truth[t] or math.isclose(got, truth[t])
+
+
+@given(small_graph())
+@settings(max_examples=30, deadline=None)
+def test_contraction_hierarchy_equals_dijkstra(graph):
+    ch = ContractionHierarchy(graph, witness_settle_limit=8)
+    ch.build()
+    for s in range(graph.num_vertices):
+        truth = dijkstra_sssp(graph, s)
+        for t in range(graph.num_vertices):
+            got = ch.query(s, t)
+            assert got == truth[t] or math.isclose(got, truth[t])
+
+
+@given(small_graph(), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_knn_matches_sorted_scan(graph, k):
+    index = PLLIndex.build(graph)
+    knn = KNNIndex(index.store)
+    truth = dijkstra_sssp(graph, 0)
+    want = sorted(
+        (d, v) for v, d in enumerate(truth) if v != 0 and d != math.inf
+    )[:k]
+    got = knn.k_nearest(0, k)
+    assert len(got) == len(want)
+    for (_v, d_got), (d_want, _v2) in zip(got, want):
+        # Hub sums may differ from Dijkstra sums by float rounding only.
+        assert d_got == d_want or math.isclose(d_got, d_want)

@@ -1,0 +1,122 @@
+"""Tests for the QUERY(s, t, L) implementations."""
+
+import math
+
+import pytest
+
+from repro.core.labels import LabelStore
+from repro.core.query import (
+    clear_tmp,
+    load_tmp,
+    query_distance,
+    query_numpy,
+    query_result,
+    query_via_tmp,
+)
+
+INF = math.inf
+
+
+@pytest.fixture
+def store():
+    """A tiny 2-hop cover: hub 0 reaches everything; hub 1 helps 2-3."""
+    s = LabelStore(4)
+    s.add_delta(
+        [
+            (0, 0, 0.0),
+            (1, 0, 1.0),
+            (2, 0, 3.0),
+            (3, 0, 6.0),
+            (2, 1, 1.0),
+            (3, 1, 2.0),
+        ]
+    )
+    s.finalize()
+    return s
+
+
+class TestQueryDistance:
+    def test_same_vertex(self, store):
+        assert query_distance(store, 2, 2) == 0.0
+
+    def test_common_hub_minimum(self, store):
+        # 2-3: via hub 0 = 9, via hub 1 = 3.
+        assert query_distance(store, 2, 3) == 3.0
+
+    def test_single_hub(self, store):
+        assert query_distance(store, 0, 1) == 1.0
+
+    def test_no_common_hub(self):
+        s = LabelStore(2)
+        s.add(0, 0, 0.0)
+        s.add(1, 1, 0.0)
+        s.finalize()
+        assert query_distance(s, 0, 1) == INF
+
+    def test_empty_labels(self):
+        s = LabelStore(2)
+        s.finalize()
+        assert query_distance(s, 0, 1) == INF
+
+
+class TestQueryResult:
+    def test_reports_hub(self, store):
+        res = query_result(store, 2, 3)
+        assert res.distance == 3.0
+        assert res.hub == 1
+        assert res.reachable
+        assert res.entries_scanned > 0
+
+    def test_same_vertex(self, store):
+        res = query_result(store, 1, 1)
+        assert res.distance == 0.0
+        assert res.hub is None
+
+    def test_unreachable(self):
+        s = LabelStore(2)
+        s.add(0, 0, 0.0)
+        s.add(1, 1, 0.0)
+        s.finalize()
+        res = query_result(s, 0, 1)
+        assert not res.reachable
+        assert res.hub is None
+
+
+class TestAgreement:
+    def test_numpy_matches_merge(self, store):
+        for s in range(4):
+            for t in range(4):
+                assert query_numpy(store, s, t) == query_distance(store, s, t)
+
+    def test_tmp_matches_merge(self, store):
+        tmp = [INF] * 4
+        for s in range(4):
+            touched = load_tmp(tmp, store, s, None)
+            for t in range(4):
+                if s == t:
+                    continue
+                got = query_via_tmp(tmp, store.hubs_of(t), store.dists_of(t))
+                assert got == query_distance(store, s, t)
+            clear_tmp(tmp, touched)
+            assert all(x == INF for x in tmp)
+
+
+class TestTmpHelpers:
+    def test_load_with_extra(self, store):
+        tmp = [INF] * 4
+        touched = load_tmp(tmp, store, 1, (3, 0.0))
+        assert tmp[0] == 1.0
+        assert tmp[3] == 0.0
+        clear_tmp(tmp, touched)
+        assert all(x == INF for x in tmp)
+
+    def test_load_duplicate_keeps_min(self):
+        s = LabelStore(1)
+        s.add(0, 0, 5.0)
+        s.add(0, 0, 2.0)
+        tmp = [INF]
+        load_tmp(tmp, s, 0, None)
+        assert tmp[0] == 2.0
+
+    def test_query_via_tmp_empty_label(self):
+        assert query_via_tmp([INF], [], []) == INF

@@ -1,0 +1,83 @@
+"""Tests for the locality-aware inter-node partition."""
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.cluster.network import NetworkModel
+from repro.cluster.parapll import simulate_cluster
+from repro.cluster.partition import region_partition
+from repro.errors import SimulationError, TaskError
+from repro.graph.order import by_degree
+
+FAST_NET = NetworkModel(latency_units=1, per_entry_units=0.0)
+
+
+class TestRegionPartition:
+    def test_covers_all_vertices_once(self, random_graph):
+        order = by_degree(random_graph)
+        parts = region_partition(random_graph, order, 3)
+        flat = sorted(v for p in parts for v in p)
+        assert flat == list(range(random_graph.num_vertices))
+
+    def test_single_node(self, random_graph):
+        order = by_degree(random_graph)
+        parts = region_partition(random_graph, order, 1)
+        assert parts == [[int(v) for v in order]]
+
+    def test_importance_order_within_node(self, random_graph):
+        order = by_degree(random_graph)
+        rank = {int(v): i for i, v in enumerate(order)}
+        parts = region_partition(random_graph, order, 3)
+        for part in parts:
+            ranks = [rank[v] for v in part]
+            assert ranks == sorted(ranks)
+
+    def test_regions_are_roughly_balanced(self, medium_graph):
+        order = by_degree(medium_graph)
+        parts = region_partition(medium_graph, order, 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) <= 3 * max(1, min(sizes))
+
+    def test_deterministic(self, random_graph):
+        order = by_degree(random_graph)
+        a = region_partition(random_graph, order, 3, seed=1)
+        b = region_partition(random_graph, order, 3, seed=1)
+        assert a == b
+
+    def test_handles_disconnected(self, two_components):
+        order = by_degree(two_components)
+        parts = region_partition(two_components, order, 2)
+        flat = sorted(v for p in parts for v in p)
+        assert flat == list(range(two_components.num_vertices))
+
+    def test_invalid_nodes(self, random_graph):
+        with pytest.raises(TaskError):
+            region_partition(random_graph, by_degree(random_graph), 0)
+
+
+class TestClusterIntegration:
+    def test_exact_queries(self, random_graph):
+        index, _ = simulate_cluster(
+            random_graph, 3, threads_per_node=2, syncs=1,
+            network=FAST_NET, inter_node="region",
+        )
+        truth = dijkstra_sssp(random_graph, 0)
+        for t in range(random_graph.num_vertices):
+            assert index.distance(0, t) == truth[t]
+
+    def test_region_shrinks_isolated_labels(self, medium_graph):
+        rr_idx, _ = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=1,
+            network=FAST_NET, inter_node="round-robin",
+        )
+        rg_idx, _ = simulate_cluster(
+            medium_graph, 4, threads_per_node=1, syncs=1,
+            network=FAST_NET, inter_node="region",
+        )
+        assert rg_idx.store.total_entries < rr_idx.store.total_entries
+
+    def test_unknown_partition(self, random_graph):
+        with pytest.raises(SimulationError, match="inter_node"):
+            simulate_cluster(
+                random_graph, 2, inter_node="alphabetical"
+            )

@@ -1,0 +1,108 @@
+"""Tests for the R-MAT generator and the METIS format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.generators.rmat import rmat_graph
+from repro.graph.validate import check_graph
+from repro.io.metis import read_metis, write_metis
+
+from .conftest import build_graph
+
+
+class TestRmat:
+    def test_valid_and_connected(self):
+        g = rmat_graph(7, edge_factor=6, seed=1)
+        check_graph(g)
+        assert g.is_connected()
+        assert g.num_vertices <= 128
+
+    def test_deterministic(self):
+        assert rmat_graph(6, seed=5) == rmat_graph(6, seed=5)
+
+    def test_seed_matters(self):
+        assert rmat_graph(6, seed=1) != rmat_graph(6, seed=2)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(9, edge_factor=8, seed=0)
+        assert g.degrees.max() > 4 * np.median(g.degrees)
+
+    def test_balanced_quadrants_less_skewed(self):
+        skewed = rmat_graph(8, seed=3)
+        uniform = rmat_graph(8, a=0.25, b=0.25, c=0.25, seed=3)
+        assert skewed.degrees.max() >= uniform.degrees.max()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+        with pytest.raises(ValueError):
+            rmat_graph(30)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.9, b=0.2, c=0.2)
+
+    def test_pll_works_on_rmat(self):
+        from repro.baselines.dijkstra import dijkstra_sssp
+        from repro.core.index import PLLIndex
+
+        g = rmat_graph(6, seed=2)
+        index = PLLIndex.build(g)
+        truth = dijkstra_sssp(g, 0)
+        for t in range(g.num_vertices):
+            assert index.distance(0, t) == truth[t]
+
+
+class TestMetis:
+    def test_roundtrip(self, random_graph):
+        buf = io.StringIO()
+        write_metis(random_graph, buf)
+        buf.seek(0)
+        back = read_metis(buf)
+        assert back == random_graph
+
+    def test_unweighted_fmt0(self):
+        text = "% tiny\n3 2\n2 3\n1\n1\n"
+        g = read_metis(io.StringIO(text))
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_weighted_fmt1(self):
+        text = "3 2 1\n2 5 3 7\n1 5\n1 7\n"
+        g = read_metis(io.StringIO(text))
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.edge_weight(0, 2) == 7.0
+
+    def test_missing_header(self):
+        with pytest.raises(GraphFormatError, match="header"):
+            read_metis(io.StringIO("% only comments\n"))
+
+    def test_bad_fmt(self):
+        with pytest.raises(GraphFormatError, match="fmt"):
+            read_metis(io.StringIO("2 1 11\n2\n1\n"))
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_metis(io.StringIO("3 5 0\n2\n1\n\n"))
+
+    def test_neighbour_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_metis(io.StringIO("2 1 0\n5\n1\n"))
+
+    def test_odd_weighted_fields(self):
+        with pytest.raises(GraphFormatError, match="odd field"):
+            read_metis(io.StringIO("2 1 1\n2\n1 3\n"))
+
+    def test_too_many_lines(self):
+        with pytest.raises(GraphFormatError, match="adjacency lines"):
+            read_metis(io.StringIO("1 0 0\n\n\n2\n"))
+
+    def test_empty_graph(self):
+        g = build_graph([], n=3)
+        buf = io.StringIO()
+        write_metis(g, buf)
+        buf.seek(0)
+        assert read_metis(buf).num_vertices == 3

@@ -1,0 +1,114 @@
+"""Tests for the serial weighted PLL builder."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.query import query_distance
+from repro.core.serial import build_serial
+from repro.generators.random_graphs import gnm_random_graph
+from repro.graph.order import by_approx_betweenness, by_degree, by_random
+
+from .conftest import build_graph
+
+
+def assert_exact(graph, store, sources=None):
+    """The PLL invariant: QUERY == Dijkstra for every checked pair."""
+    store.finalize()
+    sources = sources if sources is not None else range(graph.num_vertices)
+    for s in sources:
+        truth = dijkstra_sssp(graph, s)
+        for t in range(graph.num_vertices):
+            assert query_distance(store, s, t) == truth[t], (s, t)
+
+
+class TestCorrectness:
+    def test_path(self, path_graph):
+        store, _ = build_serial(path_graph)
+        assert_exact(path_graph, store)
+
+    def test_triangle(self, triangle):
+        store, _ = build_serial(triangle)
+        assert_exact(triangle, store)
+
+    def test_star(self, star_graph):
+        store, _ = build_serial(star_graph)
+        assert_exact(star_graph, store)
+
+    def test_disconnected(self, two_components):
+        store, _ = build_serial(two_components)
+        store.finalize()
+        assert query_distance(store, 0, 1) == 1.0
+        assert query_distance(store, 0, 2) == math.inf
+        assert query_distance(store, 4, 0) == math.inf
+
+    def test_random_graph(self, random_graph):
+        store, _ = build_serial(random_graph)
+        assert_exact(random_graph, store)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_seeds(self, seed):
+        g = gnm_random_graph(30, 70, seed=seed)
+        store, _ = build_serial(g)
+        assert_exact(g, store)
+
+    def test_single_vertex(self):
+        g = build_graph([], n=1)
+        store, stats = build_serial(g)
+        store.finalize()
+        assert query_distance(store, 0, 0) == 0.0
+        assert stats.total_entries == 1  # the root labels itself
+
+    def test_unit_weights(self, random_graph):
+        g = random_graph.unit_weighted()
+        store, _ = build_serial(g)
+        assert_exact(g, store, sources=range(0, g.num_vertices, 5))
+
+
+class TestOrderings:
+    @pytest.mark.parametrize(
+        "order_fn",
+        [by_degree, lambda g: by_random(g, seed=1),
+         lambda g: by_approx_betweenness(g, samples=8)],
+        ids=["degree", "random", "betweenness"],
+    )
+    def test_any_ordering_is_exact(self, random_graph, order_fn):
+        store, _ = build_serial(random_graph, order=order_fn(random_graph))
+        assert_exact(random_graph, store, sources=range(0, 40, 4))
+
+    def test_degree_order_smaller_than_random(self, medium_graph):
+        """The paper's point: good orderings prune more."""
+        deg_store, _ = build_serial(medium_graph)
+        rnd_store, _ = build_serial(
+            medium_graph, order=by_random(medium_graph, seed=0)
+        )
+        assert deg_store.total_entries <= rnd_store.total_entries
+
+
+class TestStats:
+    def test_stats_populated(self, random_graph):
+        store, stats = build_serial(random_graph)
+        assert stats.n == random_graph.num_vertices
+        assert stats.total_entries == store.total_entries
+        assert stats.avg_label_size == pytest.approx(store.avg_label_size)
+        assert stats.build_seconds > 0
+        assert stats.per_root == []
+
+    def test_per_root_collection(self, random_graph):
+        store, stats = build_serial(random_graph, collect_per_root=True)
+        assert len(stats.per_root) == random_graph.num_vertices
+        assert (
+            sum(s.labels_added for s in stats.per_root)
+            == store.total_entries
+        )
+
+    def test_per_root_off_matches_on(self, random_graph):
+        a, _ = build_serial(random_graph, collect_per_root=False)
+        b, _ = build_serial(random_graph, collect_per_root=True)
+        assert a == b
+
+    def test_every_vertex_labels_itself(self, random_graph):
+        store, _ = build_serial(random_graph)
+        for v in range(random_graph.num_vertices):
+            assert store.label_size(v) >= 1

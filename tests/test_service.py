@@ -1,0 +1,183 @@
+"""Tests for the serving layer: oracle and TCP server/client."""
+
+import math
+import threading
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.index import PLLIndex
+from repro.errors import GraphError, ReproError
+from repro.service import DistanceClient, DistanceOracle, DistanceServer
+
+
+@pytest.fixture(scope="module")
+def index(request):
+    from repro.generators.random_graphs import gnm_random_graph
+
+    graph = gnm_random_graph(40, 100, seed=7)
+    return PLLIndex.build(graph)
+
+
+class TestOracle:
+    def test_distances_exact(self, index):
+        oracle = DistanceOracle(index)
+        truth = dijkstra_sssp(index.graph, 0)
+        for t in range(index.num_vertices):
+            assert oracle.distance(0, t) == truth[t]
+
+    def test_cache_hits_symmetric(self, index):
+        oracle = DistanceOracle(index)
+        a = oracle.distance(1, 5)
+        b = oracle.distance(5, 1)  # symmetric key -> cache hit
+        assert a == b
+        assert oracle.stats.cache_hits == 1
+        assert oracle.stats.queries == 2
+        assert oracle.stats.hit_rate == 0.5
+
+    def test_cache_eviction(self, index):
+        oracle = DistanceOracle(index, cache_size=2)
+        oracle.distance(0, 1)
+        oracle.distance(0, 2)
+        oracle.distance(0, 3)  # evicts (0, 1)
+        entries, cap = oracle.cache_info()
+        assert entries == 2 and cap == 2
+        oracle.distance(0, 1)
+        assert oracle.stats.cache_hits == 0
+
+    def test_cache_disabled(self, index):
+        oracle = DistanceOracle(index, cache_size=0)
+        oracle.distance(0, 1)
+        oracle.distance(0, 1)
+        assert oracle.stats.cache_hits == 0
+
+    def test_negative_cache_size(self, index):
+        with pytest.raises(GraphError):
+            DistanceOracle(index, cache_size=-1)
+
+    def test_batch(self, index):
+        oracle = DistanceOracle(index)
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        out = oracle.batch(pairs)
+        assert out == [index.distance(s, t) for s, t in pairs]
+        assert oracle.stats.batch_queries == 1
+
+    def test_knn_lazy_build(self, index):
+        oracle = DistanceOracle(index)
+        out = oracle.k_nearest(3, 4)
+        assert len(out) == 4
+        truth = dijkstra_sssp(index.graph, 3)
+        for v, d in out:
+            assert d == truth[v]
+        assert oracle.stats.knn_queries == 1
+
+    def test_shortest_path(self, index):
+        oracle = DistanceOracle(index)
+        path = oracle.shortest_path(0, 7)
+        assert path[0] == 0 and path[-1] == 7
+        assert oracle.stats.path_queries == 1
+
+    def test_clear_cache(self, index):
+        oracle = DistanceOracle(index)
+        oracle.distance(0, 1)
+        oracle.clear_cache()
+        assert oracle.cache_info()[0] == 0
+
+    def test_thread_safety(self, index):
+        oracle = DistanceOracle(index, cache_size=64)
+        truth = dijkstra_sssp(index.graph, 0)
+        errors = []
+
+        def hammer():
+            try:
+                for t in range(index.num_vertices):
+                    assert oracle.distance(0, t) == truth[t]
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+
+
+class TestServer:
+    @pytest.fixture()
+    def server(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as srv:
+            yield srv
+
+    def test_ping(self, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+
+    def test_distance_roundtrip(self, index, server):
+        truth = dijkstra_sssp(index.graph, 2)
+        with DistanceClient("127.0.0.1", server.port) as client:
+            for t in range(0, index.num_vertices, 5):
+                assert client.distance(2, t) == truth[t]
+
+    def test_batch_roundtrip(self, index, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            pairs = [(0, 1), (3, 9)]
+            out = client.batch(pairs)
+            assert out == [index.distance(s, t) for s, t in pairs]
+
+    def test_knn_roundtrip(self, index, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            out = client.k_nearest(1, 3)
+            assert len(out) == 3
+            truth = dijkstra_sssp(index.graph, 1)
+            for v, d in out:
+                assert d == truth[v]
+
+    def test_path_roundtrip(self, index, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            path = client.shortest_path(0, 5)
+            assert path[0] == 0 and path[-1] == 5
+
+    def test_stats(self, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            client.distance(0, 1)
+            stats = client.stats()
+            assert stats["queries"] >= 1
+
+    def test_unreachable_encoding(self, two_components, server):
+        # Build a dedicated server over a disconnected graph.
+        oracle = DistanceOracle(PLLIndex.build(two_components))
+        with DistanceServer(oracle) as srv:
+            with DistanceClient("127.0.0.1", srv.port) as client:
+                assert client.distance(0, 3) == math.inf
+
+    def test_error_response(self, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ReproError):
+                client.distance(0, 10_000)  # out of range
+
+    def test_multiple_clients(self, index, server):
+        clients = [
+            DistanceClient("127.0.0.1", server.port) for _ in range(3)
+        ]
+        try:
+            for i, c in enumerate(clients):
+                assert c.distance(i, i + 1) == index.distance(i, i + 1)
+        finally:
+            for c in clients:
+                c.close()
+
+    def test_unknown_op(self, server):
+        import json
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            f = sock.makefile("rwb")
+            f.write(b'{"op": "teleport"}\n')
+            f.flush()
+            response = json.loads(f.readline())
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]

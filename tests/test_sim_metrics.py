@@ -1,0 +1,71 @@
+"""Tests for speedup tables and time breakdowns."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import speedup_table, time_breakdown
+from repro.types import IndexStats, ParallelRunResult
+
+
+def run(makespan, ln=10.0, comm=0.0):
+    return ParallelRunResult(
+        index_stats=IndexStats(
+            n=10, total_entries=int(ln * 10), avg_label_size=ln,
+            max_label_size=int(ln * 2), build_seconds=makespan,
+        ),
+        makespan=makespan,
+        computation_time=makespan * 0.9,
+        communication_time=comm,
+    )
+
+
+class TestSpeedupTable:
+    def test_basic(self):
+        row = speedup_table("g", [1, 2, 4], [run(8.0), run(4.0), run(2.0)])
+        assert row.speedups == [1.0, 2.0, 4.0]
+        assert row.baseline_seconds == 8.0
+        assert row.label_sizes == [10.0, 10.0, 10.0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(SimulationError):
+            speedup_table("g", [1, 2], [run(1.0)])
+
+    def test_empty(self):
+        with pytest.raises(SimulationError):
+            speedup_table("g", [], [])
+
+    def test_zero_baseline(self):
+        with pytest.raises(SimulationError):
+            speedup_table("g", [1], [run(0.0)])
+
+
+class TestBreakdown:
+    def test_fractions(self):
+        b = time_breakdown(run(10.0, comm=2.5))
+        assert b["makespan"] == 10.0
+        assert b["communication"] == 2.5
+        assert b["communication_fraction"] == 0.25
+
+    def test_zero_makespan(self):
+        b = time_breakdown(run(0.0))
+        assert b["communication_fraction"] == 0.0
+
+
+class TestLoadImbalance:
+    def test_even(self):
+        r = run(4.0)
+        r.per_worker_busy = [1.0, 1.0, 1.0]
+        assert r.load_imbalance == 1.0
+
+    def test_skewed(self):
+        r = run(4.0)
+        r.per_worker_busy = [3.0, 1.0]
+        assert r.load_imbalance == 1.5
+
+    def test_empty(self):
+        assert run(4.0).load_imbalance == 1.0
+
+    def test_zero_work(self):
+        r = run(4.0)
+        r.per_worker_busy = [0.0, 0.0]
+        assert r.load_imbalance == 1.0

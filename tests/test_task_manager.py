@@ -1,0 +1,133 @@
+"""Tests for the task manager's assignment policies."""
+
+import threading
+
+import pytest
+
+from repro.errors import TaskError
+from repro.parallel.task_manager import (
+    DynamicAssignment,
+    StaticAssignment,
+    make_assignment,
+)
+
+
+class TestStatic:
+    def test_round_robin_deal(self):
+        a = StaticAssignment([10, 11, 12, 13, 14, 15, 16], 3)
+        assert a.assigned_to(0) == [10, 13, 16]
+        assert a.assigned_to(1) == [11, 14]
+        assert a.assigned_to(2) == [12, 15]
+
+    def test_next_task_sequence(self):
+        a = StaticAssignment([1, 2, 3, 4], 2)
+        assert a.next_task(0) == 1
+        assert a.next_task(0) == 3
+        assert a.next_task(0) is None
+        assert a.next_task(1) == 2
+        assert a.next_task(1) == 4
+        assert a.next_task(1) is None
+
+    def test_remaining(self):
+        a = StaticAssignment([1, 2, 3], 2)
+        assert a.remaining() == 3
+        a.next_task(0)
+        assert a.remaining() == 2
+
+    def test_single_worker_is_serial(self):
+        order = [5, 3, 1, 2]
+        a = StaticAssignment(order, 1)
+        got = [a.next_task(0) for _ in range(4)]
+        assert got == order
+
+    def test_worker_out_of_range(self):
+        a = StaticAssignment([1], 2)
+        with pytest.raises(TaskError):
+            a.next_task(5)
+        with pytest.raises(TaskError):
+            a.assigned_to(-1)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(TaskError):
+            StaticAssignment([1], 0)
+
+    def test_more_workers_than_tasks(self):
+        a = StaticAssignment([1, 2], 5)
+        assert a.next_task(0) == 1
+        assert a.next_task(1) == 2
+        assert a.next_task(2) is None
+
+
+class TestDynamic:
+    def test_fifo_by_request_order(self):
+        a = DynamicAssignment([9, 8, 7], 3)
+        assert a.next_task(2) == 9  # whoever asks first gets the head
+        assert a.next_task(0) == 8
+        assert a.next_task(1) == 7
+        assert a.next_task(0) is None
+
+    def test_remaining(self):
+        a = DynamicAssignment([1, 2, 3], 2)
+        assert a.remaining() == 3
+        a.next_task(0)
+        assert a.remaining() == 2
+
+    def test_chunked_grabs(self):
+        a = DynamicAssignment(list(range(6)), 2, chunk=3)
+        # Worker 0 takes 0 and buffers 1,2.
+        assert a.next_task(0) == 0
+        assert a.remaining() == 3
+        assert a.next_task(1) == 3
+        assert a.next_task(0) == 1
+        assert a.next_task(0) == 2
+        assert a.next_task(0) == 5 or a.next_task(0) in (None,)
+
+    def test_invalid_chunk(self):
+        with pytest.raises(TaskError):
+            DynamicAssignment([1], 1, chunk=0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(TaskError):
+            DynamicAssignment([1], 0)
+
+    def test_exhaustion(self):
+        a = DynamicAssignment([1], 4)
+        assert a.next_task(3) == 1
+        for w in range(4):
+            assert a.next_task(w) is None
+
+    def test_thread_safety_no_duplicates(self):
+        """Hammer the queue from real threads: each task handed out once."""
+        order = list(range(500))
+        a = DynamicAssignment(order, 8)
+        got = [[] for _ in range(8)]
+
+        def worker(k):
+            while True:
+                task = a.next_task(k)
+                if task is None:
+                    return
+                got[k].append(task)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = [x for lst in got for x in lst]
+        assert sorted(flat) == order
+
+
+class TestFactory:
+    def test_static(self):
+        a = make_assignment("static", [1, 2], 2)
+        assert isinstance(a, StaticAssignment)
+
+    def test_dynamic(self):
+        a = make_assignment("dynamic", [1, 2], 2, chunk=2)
+        assert isinstance(a, DynamicAssignment)
+        assert a.chunk == 2
+
+    def test_unknown(self):
+        with pytest.raises(TaskError):
+            make_assignment("greedy", [1], 1)

@@ -1,0 +1,138 @@
+"""Tests for the thread-backed communicator and the per-rank runner."""
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.cluster.runner import run_cluster_threads
+from repro.cluster.threadcomm import ThreadComm, run_ranks
+from repro.core.serial import build_serial
+from repro.errors import CommError, SimulationError
+
+
+class TestThreadComm:
+    def test_invalid_size(self):
+        with pytest.raises(CommError):
+            ThreadComm(0)
+
+    def test_send_recv_across_threads(self):
+        comm = ThreadComm(2, timeout=10.0)
+
+        def program(rank, c):
+            if rank == 0:
+                c.send({"x": 1}, source=0, dest=1)
+                return None
+            return c.recv(source=0, dest=1)
+
+        results = run_ranks(comm, program)
+        assert results[1] == {"x": 1}
+
+    def test_recv_timeout(self):
+        comm = ThreadComm(2, timeout=0.2)
+        with pytest.raises(CommError, match="timeout"):
+            comm.recv(source=0, dest=1)
+
+    def test_barrier_synchronises(self):
+        comm = ThreadComm(4, timeout=10.0)
+        log = []
+
+        def program(rank, c):
+            log.append(("before", rank))
+            c.barrier(rank)
+            log.append(("after", rank))
+
+        run_ranks(comm, program)
+        # All "before" entries precede all "after" entries.
+        kinds = [k for k, _r in log]
+        assert kinds.index("after") >= 4
+
+    def test_allgather_orders_by_rank(self):
+        comm = ThreadComm(3, timeout=10.0)
+        results = run_ranks(
+            comm, lambda rank, c: c.allgather(rank, rank * 10)
+        )
+        assert results == [[0, 10, 20]] * 3
+
+    def test_allgather_repeated_rounds(self):
+        comm = ThreadComm(3, timeout=10.0)
+
+        def program(rank, c):
+            out = []
+            for round_no in range(5):
+                out.append(c.allgather(rank, (rank, round_no)))
+            return out
+
+        results = run_ranks(comm, program)
+        for rounds in results:
+            for round_no, gathered in enumerate(rounds):
+                assert gathered == [(r, round_no) for r in range(3)]
+
+    def test_bcast(self):
+        comm = ThreadComm(3, timeout=10.0)
+        results = run_ranks(
+            comm,
+            lambda rank, c: c.bcast("hello" if rank == 1 else None, 1, rank),
+        )
+        assert results == ["hello"] * 3
+
+    def test_rank_error_propagates(self):
+        comm = ThreadComm(2, timeout=5.0)
+
+        def program(rank, c):
+            if rank == 1:
+                raise ValueError("rank 1 exploded")
+            c.barrier(rank)
+
+        with pytest.raises((ValueError, CommError)):
+            run_ranks(comm, program)
+
+
+class TestClusterRunner:
+    @pytest.mark.parametrize("q", [1, 2, 4])
+    def test_exact_distances(self, random_graph, q):
+        index = run_cluster_threads(random_graph, q, syncs=1)
+        for s in (0, 7):
+            truth = dijkstra_sssp(random_graph, s)
+            for t in range(random_graph.num_vertices):
+                assert index.distance(s, t) == truth[t]
+
+    @pytest.mark.parametrize("c", [1, 3])
+    @pytest.mark.parametrize("schedule", ["uniform", "early"])
+    def test_exact_any_schedule(self, random_graph, c, schedule):
+        index = run_cluster_threads(
+            random_graph, 3, syncs=c, sync_schedule=schedule
+        )
+        truth = dijkstra_sssp(random_graph, 5)
+        for t in range(random_graph.num_vertices):
+            assert index.distance(5, t) == truth[t]
+
+    def test_single_node_is_serial(self, random_graph):
+        index = run_cluster_threads(random_graph, 1, syncs=1)
+        serial_store, _ = build_serial(random_graph)
+        assert index.store == serial_store
+
+    def test_matches_simulated_cluster_label_set_semantics(
+        self, random_graph
+    ):
+        """Functional and simulated cluster agree on query answers."""
+        from repro.cluster.network import NetworkModel
+        from repro.cluster.parapll import simulate_cluster
+
+        functional = run_cluster_threads(random_graph, 3, syncs=2)
+        simulated, _ = simulate_cluster(
+            random_graph, 3, threads_per_node=1, syncs=2,
+            network=NetworkModel(latency_units=0, per_entry_units=0),
+        )
+        for s in (0, 11):
+            for t in range(random_graph.num_vertices):
+                assert functional.distance(s, t) == simulated.distance(s, t)
+
+    def test_more_syncs_shrink_labels(self, medium_graph):
+        few = run_cluster_threads(medium_graph, 4, syncs=1)
+        many = run_cluster_threads(medium_graph, 4, syncs=6)
+        assert many.store.total_entries <= few.store.total_entries
+
+    def test_invalid_params(self, random_graph):
+        with pytest.raises(SimulationError):
+            run_cluster_threads(random_graph, 0)
+        with pytest.raises(SimulationError):
+            run_cluster_threads(random_graph, 2, syncs=0)

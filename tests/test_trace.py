@@ -1,0 +1,77 @@
+"""Tests for schedule-trace analysis and Gantt rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.executor import simulate_intra_node
+from repro.sim.trace import ScheduleTrace, gantt_ascii
+
+
+EVENTS = [
+    (0, 10, 0.0, 2.0),
+    (1, 11, 0.0, 1.0),
+    (1, 12, 1.0, 3.0),
+    (0, 13, 2.0, 2.5),
+]
+
+
+class TestTrace:
+    def test_basic_analysis(self):
+        trace = ScheduleTrace.from_events(EVENTS)
+        assert trace.num_workers == 2
+        assert trace.makespan == 3.0
+        assert trace.busy == [2.5, 3.0]
+        assert trace.idle == [0.5, 0.0]
+        assert trace.tasks_per_worker == [2, 2]
+        assert trace.utilisation[1] == pytest.approx(1.0)
+
+    def test_mean_utilisation(self):
+        trace = ScheduleTrace.from_events(EVENTS)
+        assert trace.mean_utilisation == pytest.approx(
+            (2.5 / 3 + 1.0) / 2
+        )
+
+    def test_empty_schedule(self):
+        with pytest.raises(SimulationError):
+            ScheduleTrace.from_events([])
+
+    def test_negative_span(self):
+        with pytest.raises(SimulationError):
+            ScheduleTrace.from_events([(0, 1, 2.0, 1.0)])
+
+    def test_summary_text(self):
+        text = ScheduleTrace.from_events(EVENTS).summary()
+        assert "worker 0" in text
+        assert "makespan" in text
+
+
+class TestGantt:
+    def test_renders_rows(self):
+        art = gantt_ascii(EVENTS, width=40)
+        assert "w0 |" in art
+        assert "w1 |" in art
+        assert "#" in art
+
+    def test_truncates_many_workers(self):
+        events = [(w, w, 0.0, 1.0) for w in range(20)]
+        art = gantt_ascii(events, max_workers=4)
+        assert "more workers" in art
+
+    def test_from_real_simulation(self, random_graph):
+        _idx, run = simulate_intra_node(
+            random_graph, 3, record_schedule=True, jitter=0.2, seed=1
+        )
+        trace = ScheduleTrace.from_events(run.schedule)
+        assert trace.num_workers == 3
+        assert trace.makespan == pytest.approx(run.makespan)
+        # The chart renders without error and covers all rows.
+        art = gantt_ascii(run.schedule)
+        assert art.count("|") >= 6
+
+    def test_busy_matches_run_accounting(self, random_graph):
+        _idx, run = simulate_intra_node(
+            random_graph, 4, record_schedule=True, seed=2
+        )
+        trace = ScheduleTrace.from_events(run.schedule)
+        for w in range(4):
+            assert trace.busy[w] == pytest.approx(run.per_worker_busy[w])

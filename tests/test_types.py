@@ -1,0 +1,87 @@
+"""Tests for the shared value objects in repro.types."""
+
+import math
+
+import pytest
+
+from repro.types import (
+    INF,
+    IndexStats,
+    ParallelRunResult,
+    QueryResult,
+    SearchStats,
+)
+
+
+class TestQueryResult:
+    def test_reachable(self):
+        assert QueryResult(3.0, hub=1, entries_scanned=2).reachable
+
+    def test_unreachable(self):
+        assert not QueryResult(INF, hub=None, entries_scanned=0).reachable
+
+    def test_frozen(self):
+        r = QueryResult(1.0, hub=0, entries_scanned=1)
+        try:
+            r.distance = 2.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestSearchStats:
+    def test_defaults(self):
+        s = SearchStats()
+        assert s.root == -1
+        assert s.settled == 0
+
+    def test_merge_accumulates(self):
+        a = SearchStats(settled=1, pruned=2, labels_added=3, relaxations=4,
+                        heap_pushes=5, heap_pops=6, query_entries_scanned=7)
+        b = SearchStats(settled=10, pruned=20, labels_added=30,
+                        relaxations=40, heap_pushes=50, heap_pops=60,
+                        query_entries_scanned=70)
+        a.merge(b)
+        assert a.settled == 11
+        assert a.pruned == 22
+        assert a.labels_added == 33
+        assert a.relaxations == 44
+        assert a.heap_pushes == 55
+        assert a.heap_pops == 66
+        assert a.query_entries_scanned == 77
+
+
+class TestIndexStats:
+    def test_from_sizes(self):
+        stats = IndexStats.from_sizes([1, 2, 3], build_seconds=0.5)
+        assert stats.n == 3
+        assert stats.total_entries == 6
+        assert stats.avg_label_size == 2.0
+        assert stats.max_label_size == 3
+        assert stats.build_seconds == 0.5
+
+    def test_from_sizes_empty(self):
+        stats = IndexStats.from_sizes([], build_seconds=0.0)
+        assert stats.n == 0
+        assert stats.avg_label_size == 0.0
+        assert stats.max_label_size == 0
+
+
+class TestParallelRunResult:
+    def _result(self, busy):
+        return ParallelRunResult(
+            index_stats=IndexStats.from_sizes([1], 1.0),
+            makespan=1.0,
+            per_worker_busy=busy,
+        )
+
+    def test_imbalance_even(self):
+        assert self._result([2.0, 2.0]).load_imbalance == 1.0
+
+    def test_imbalance_skew(self):
+        assert self._result([4.0, 2.0]).load_imbalance == pytest.approx(4 / 3)
+
+
+def test_inf_is_math_inf():
+    assert INF is math.inf
