@@ -6,19 +6,22 @@ Run with::
 
 Builds the Gnutella stand-in graph, indexes it with serial weighted PLL
 (Algorithm 1 over every root), verifies a few distances against plain
-Dijkstra, then shows how much faster indexed queries are.
+Dijkstra, shows how much faster indexed queries are, and finishes with
+the build's observability summary (labels per root, prune rate, phase
+timings) collected by the always-on ``repro.obs`` metrics layer.
 """
 
 import random
 import time
 
-from repro import PLLIndex, load_dataset
+from repro import PLLIndex, load_dataset, obs
 from repro.baselines import dijkstra_pair
 
 
 def main() -> None:
     graph = load_dataset("Gnutella", scale=1.0, seed=7)
     print(f"graph: {graph.name}, n={graph.num_vertices}, m={graph.num_edges}")
+    obs.reset()  # scope the metrics report below to this run
 
     t0 = time.perf_counter()
     index = PLLIndex.build(graph)
@@ -59,6 +62,25 @@ def main() -> None:
         f"example: d({s}, {t}) = {result.distance} "
         f"meeting at hub {result.hub} "
         f"({result.entries_scanned} label entries scanned)"
+    )
+
+    # End-of-run metrics: the build above fed the global registry.
+    reg = obs.get_registry()
+    roots = reg.get("parapll_build_roots_total").value()
+    labels = reg.get("parapll_build_labels_total").value()
+    settled = reg.get("parapll_build_settled_total").value()
+    pruned = reg.get("parapll_build_prune_hits_total").value()
+    phases = reg.get("parapll_build_phase_seconds")
+    print()
+    print("build metrics (from repro.obs):")
+    print(f"  labels/root: {labels / max(roots, 1):.1f} over {int(roots)} roots")
+    print(f"  prune rate:  {pruned / max(settled, 1):.1%}")
+    print(
+        "  phases:      "
+        + " | ".join(
+            f"{p} {phases.labels(phase=p).value():.3f}s"
+            for p in ("order", "search", "finalize")
+        )
     )
 
 

@@ -37,7 +37,29 @@ __all__ = [
     "experiment_fig6",
     "experiment_fig7",
     "experiment_headline",
+    "metrics_snapshot",
+    "reset_metrics",
 ]
+
+
+def reset_metrics() -> None:
+    """Zero the observability layer so a snapshot covers one experiment."""
+    from repro import obs
+
+    obs.reset()
+
+
+def metrics_snapshot() -> List[Dict]:
+    """The current observability registry as a JSON-safe structure.
+
+    The bench runner calls :func:`reset_metrics` before and this after
+    each experiment, so saved benchmark results carry the exact
+    operation counts (prune hits, labels, sync deltas, ...) behind each
+    table/figure.
+    """
+    from repro import obs
+
+    return obs.get_registry().snapshot()
 
 
 @dataclass

@@ -106,7 +106,14 @@ def _build_parser() -> argparse.ArgumentParser:
 def run_experiment(
     name: str, config: BenchConfig, out_dir: Optional[str]
 ) -> str:
-    """Run one experiment, returning its rendered text (CSV side effect)."""
+    """Run one experiment, returning its rendered text (CSV side effect).
+
+    When *out_dir* is given, the observability snapshot covering the
+    experiment is written next to its CSV as ``{name}.metrics.json``.
+    """
+    from repro.bench.harness import metrics_snapshot, reset_metrics
+
+    reset_metrics()
     t0 = time.perf_counter()
     if name == "datasets":
         rows = experiment_datasets(config)
@@ -155,8 +162,16 @@ def run_experiment(
         raise BenchmarkError(f"unknown experiment {name!r}")
     elapsed = time.perf_counter() - t0
     if out_dir:
+        import json
+
         os.makedirs(out_dir, exist_ok=True)
         write_csv(rows, os.path.join(out_dir, f"{name}.csv"))
+        with open(
+            os.path.join(out_dir, f"{name}.metrics.json"),
+            "w",
+            encoding="utf-8",
+        ) as fh:
+            json.dump(metrics_snapshot(), fh, indent=1)
     return f"{text}\n[{name} finished in {elapsed:.1f}s]\n"
 
 

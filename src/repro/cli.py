@@ -7,6 +7,7 @@ Subcommands::
     parapll index    --graph g.npz --threads 8 --policy dynamic
     parapll query    --graph g.npz --index g.index.npz 3 42
     parapll stats    --index g.index.npz                   # label stats
+    parapll obs      --graph g.npz --threads 4             # observed build
     parapll bench    --experiment table4                   # = repro.bench
 
 Graphs are accepted as ``.npz`` (our binary cache), ``.gr`` (DIMACS) or
@@ -101,6 +102,47 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Build with full observability on, then report and export."""
+    from repro import obs
+
+    if args.graph:
+        graph = _load_graph(args.graph)
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+    obs.reset()
+    tracing = args.trace or args.jsonl is not None
+    previous = obs.current_config()
+    obs.configure(metrics=True, tracing=tracing)
+    try:
+        if args.threads > 1 or args.engine != "dijkstra":
+            index = build_parallel_threads(
+                graph, args.threads, policy=args.policy, engine=args.engine
+            )
+        else:
+            index = PLLIndex.build(graph)
+    finally:
+        obs.configure(
+            metrics=previous.metrics, tracing=previous.tracing
+        )
+
+    print(
+        f"built {graph.name}: n={graph.num_vertices} "
+        f"m={graph.num_edges} LN={index.avg_label_size():.1f}"
+    )
+    print()
+    print(obs.render_summary())
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(obs.prometheus_text())
+        print(f"wrote Prometheus exposition to {args.prom}")
+    if args.jsonl:
+        count = obs.write_trace_jsonl(args.jsonl)
+        print(f"wrote {count} trace records to {args.jsonl}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Reached only via "parapll bench" with no extra arguments (the
     # passthrough in main() handles the argument-forwarding case).
@@ -146,6 +188,41 @@ def _build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("stats", help="summarise a saved index")
     s.add_argument("--index", required=True)
     s.set_defaults(func=_cmd_stats)
+
+    o = sub.add_parser(
+        "obs",
+        help="build with observability on; report and export metrics",
+    )
+    src = o.add_mutually_exclusive_group(required=True)
+    src.add_argument("--graph", help="graph file (.npz / .gr / edge list)")
+    src.add_argument(
+        "--dataset", choices=dataset_names(), help="generate a stand-in"
+    )
+    o.add_argument("--scale", type=float, default=1.0)
+    o.add_argument("--seed", type=int, default=42)
+    o.add_argument("--threads", type=int, default=1)
+    o.add_argument("--policy", choices=("static", "dynamic"), default="dynamic")
+    o.add_argument(
+        "--engine", choices=("dijkstra", "bfs"), default="dijkstra"
+    )
+    o.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing during the build",
+    )
+    o.add_argument(
+        "--prom",
+        default=None,
+        metavar="FILE",
+        help="write Prometheus text exposition to FILE",
+    )
+    o.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="FILE",
+        help="write the JSONL trace to FILE (implies --trace)",
+    )
+    o.set_defaults(func=_cmd_obs)
 
     b = sub.add_parser(
         "bench",

@@ -21,6 +21,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.network import NetworkModel
 from repro.errors import CommError
+from repro.obs.instruments import record_comm
 
 __all__ = ["SimComm"]
 
@@ -90,6 +91,7 @@ class SimComm:
         self.clocks[source] = send_done
         key = (source, dest, tag)
         self._mailboxes.setdefault(key, deque()).append((send_done, payload))
+        record_comm("send", _payload_entries(payload))
 
     def recv(self, source: int, dest: int, tag: int = 0) -> Any:
         """Receive the next message from *source* at *dest* (blocking).
@@ -160,6 +162,8 @@ class SimComm:
             self.clocks[r] = exit_time
         del self._pending["allgather"]
         self._last_allgather = gathered
+        # Each entry reaches the size-1 other ranks in the allgather.
+        record_comm("allgather", sum(sizes), fanout=self.size - 1)
         return gathered
 
     def collective_result(self) -> List[Any]:
@@ -185,6 +189,9 @@ class SimComm:
         for r in range(self.size):
             self.comm_seconds[r] += exit_time - self.clocks[r]
             self.clocks[r] = exit_time
+        record_comm(
+            "bcast", _payload_entries(payload), fanout=self.size - 1
+        )
         return [payload for _ in range(self.size)]
 
     # ------------------------------------------------------------------

@@ -28,6 +28,8 @@ from repro.core.labels import LabelStore
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import trace as _trace
+from repro.obs.instruments import record_sync_round
 from repro.sim.costmodel import CostModel
 from repro.sim.executor import IntraNodeSimulator
 from repro.types import IndexStats
@@ -185,20 +187,27 @@ def simulate_cluster(
         sync_wait_time += sum(barrier_time - node.clock for node in nodes)
         # Exchange each node's delta List (Algorithm 3 line 15).
         deltas = [node.drain_deltas() for node in nodes]
-        before = comm.clocks[0]
-        gathered = None
-        for k, delta in enumerate(deltas):
-            gathered = comm.allgather(k, delta)
-        assert gathered is not None
-        exchange_elapsed = comm.clocks[0] - max(before, barrier_time)
-        communication_time += exchange_elapsed
-        per_sync_entries.append(sum(len(d) for d in deltas))
-        # Merge remote labels and release all nodes at the common clock.
-        for k, node in enumerate(nodes):
-            for src, delta in enumerate(gathered):
-                if src != k:
-                    node.receive_labels(delta)
-            node.advance_all(comm.clocks[k])
+        round_entries = sum(len(d) for d in deltas)
+        with _trace.span(
+            "cluster_sync", round=j, entries=round_entries, nodes=num_nodes
+        ) as sp:
+            before = comm.clocks[0]
+            gathered = None
+            for k, delta in enumerate(deltas):
+                gathered = comm.allgather(k, delta)
+            assert gathered is not None
+            exchange_elapsed = comm.clocks[0] - max(before, barrier_time)
+            communication_time += exchange_elapsed
+            per_sync_entries.append(round_entries)
+            record_sync_round(round_entries)
+            # Merge remote labels and release all nodes at the common clock.
+            redundant = 0
+            for k, node in enumerate(nodes):
+                for src, delta in enumerate(gathered):
+                    if src != k:
+                        redundant += node.receive_labels(delta)
+                node.advance_all(comm.clocks[k])
+            sp.set(sim_seconds=exchange_elapsed, redundant=redundant)
 
     # After the final exchange every node holds the converged label set.
     store: LabelStore = nodes[0].store

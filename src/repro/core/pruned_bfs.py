@@ -22,6 +22,7 @@ from repro.core.query import clear_tmp, load_tmp
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree, ordering_rank, validate_ordering
+from repro.obs.instruments import record_search
 from repro.types import INF, IndexStats, SearchStats
 
 __all__ = ["PrunedBFS", "build_serial_bfs"]
@@ -100,6 +101,7 @@ class PrunedBFS:
             dist[v] = INF
         clear_tmp(tmp, touched_tmp)
 
+        record_search(n_settled, n_pruned, len(delta), n_settled, n_scan)
         if stats is not None:
             stats.root = root
             stats.settled = n_settled

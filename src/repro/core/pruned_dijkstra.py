@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.labels import LabelStore
 from repro.core.query import clear_tmp, load_tmp
 from repro.errors import OrderingError
+from repro.obs.instruments import record_search
 from repro.graph.csr import CSRGraph
 from repro.graph.order import ordering_rank, validate_ordering
 from repro.types import INF, SearchStats
@@ -153,6 +154,7 @@ class PrunedDijkstra:
             dist[v] = INF
         clear_tmp(tmp, touched_tmp)
 
+        record_search(n_settled, n_pruned, len(delta), n_pop, n_scan)
         if stats is not None:
             stats.root = root
             stats.settled = n_settled
@@ -221,6 +223,7 @@ class PrunedDijkstra:
             dist[v] = INF
         clear_tmp(tmp, touched_tmp)
 
+        record_search(n_settled, n_pruned, len(delta), n_pop, n_scan)
         if stats is not None:
             stats.root = root
             stats.settled = n_settled

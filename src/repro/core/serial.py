@@ -15,6 +15,8 @@ from repro.core.labels import LabelStore
 from repro.core.pruned_dijkstra import PrunedDijkstra
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import trace as _trace
+from repro.obs.timers import PhaseTimer
 from repro.types import IndexStats, SearchStats
 
 __all__ = ["build_serial"]
@@ -42,26 +44,36 @@ def build_serial(
         ``(store, stats)`` — the label store (already finalized) and the
         build statistics.
     """
-    if order is None:
-        order = by_degree(graph)
-    engine = PrunedDijkstra(graph, order, pq_factory=pq_factory)
+    timer = PhaseTimer()
+    with timer.phase("order"):
+        if order is None:
+            order = by_degree(graph)
+        engine = PrunedDijkstra(graph, order, pq_factory=pq_factory)
     store = LabelStore(graph.num_vertices)
 
     per_root: list[SearchStats] = []
     t0 = time.perf_counter()
-    if collect_per_root:
-        for root in engine.order:
-            stats = SearchStats()
-            delta = engine.run(int(root), store, stats)
-            engine.commit(int(root), delta, store)
-            per_root.append(stats)
-    else:
-        for root in engine.order:
-            delta = engine.run(int(root), store)
-            engine.commit(int(root), delta, store)
+    with timer.phase("search"), _trace.span(
+        "build_serial", n=graph.num_vertices
+    ):
+        if collect_per_root:
+            for root in engine.order:
+                with _trace.span("root_search", root=int(root), worker=0) as sp:
+                    stats = SearchStats()
+                    delta = engine.run(int(root), store, stats)
+                    engine.commit(int(root), delta, store)
+                    sp.set(labels=len(delta))
+                per_root.append(stats)
+        else:
+            for root in engine.order:
+                with _trace.span("root_search", root=int(root), worker=0) as sp:
+                    delta = engine.run(int(root), store)
+                    engine.commit(int(root), delta, store)
+                    sp.set(labels=len(delta))
     elapsed = time.perf_counter() - t0
 
-    store.finalize()
+    with timer.phase("finalize"):
+        store.finalize()
     stats = IndexStats.from_sizes(store.label_sizes(), elapsed)
     stats.per_root = per_root
     return store, stats

@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.types import SearchStats
 
-__all__ = ["label_cdf", "label_size_summary"]
+__all__ = [
+    "label_cdf",
+    "label_size_summary",
+    "per_root_label_counts",
+    "roots_to_reach",
+]
 
 
 def label_cdf(per_root: Sequence[SearchStats]) -> np.ndarray:

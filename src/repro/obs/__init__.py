@@ -1,0 +1,83 @@
+"""``repro.obs`` — the end-to-end observability layer.
+
+ParaPLL's story is about where time and labels go: per-root pruning
+efficiency, static-vs-dynamic balance, the sync-frequency trade between
+communication and redundant labels.  This package makes those
+quantities observable on *live* runs — real builds, the simulator and
+the TCP serving layer all feed one process-wide metrics registry and
+(opt-in) trace buffer.
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and
+  fixed-bucket histograms with labeled series.
+* :mod:`repro.obs.trace` — structured span/event tracing into a bounded
+  ring buffer (monotonic clocks, thread-local span nesting).
+* :mod:`repro.obs.export` — Prometheus text exposition, JSONL traces,
+  and the human-readable summary behind ``parapll obs``.
+* :mod:`repro.obs.timers` — phase timers and a sampling profiler.
+* :mod:`repro.obs.instruments` — the well-known metric handles the
+  instrumented modules bump.
+
+Metrics are default-on (cheap counter bumps); tracing is opt-in::
+
+    from repro import obs
+
+    obs.configure(tracing=True)
+    build_parallel_threads(graph, 4)
+    print(obs.render_summary())
+    obs.write_trace_jsonl("build.trace.jsonl")
+"""
+
+from repro.obs.config import ObsConfig, configure, current_config
+from repro.obs.export import (
+    prometheus_text,
+    read_trace_jsonl,
+    render_summary,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+    get_registry,
+)
+from repro.obs.timers import PhaseTimer, SamplingProfiler
+from repro.obs.trace import TraceRecord, Tracer, event, get_tracer, span
+
+__all__ = [
+    "ObsConfig",
+    "configure",
+    "current_config",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsError",
+    "get_registry",
+    "TraceRecord",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "event",
+    "PhaseTimer",
+    "SamplingProfiler",
+    "prometheus_text",
+    "render_summary",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "reset",
+]
+
+
+def reset() -> None:
+    """Zero all metrics and drop all trace records.
+
+    Registrations and instrument handles survive — only values are
+    cleared.  Intended for tests and for scoping a metrics snapshot to
+    one run (the bench harness calls this before each experiment).
+    """
+    get_registry().reset()
+    get_tracer().clear()

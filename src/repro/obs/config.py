@@ -1,0 +1,74 @@
+"""Runtime switches for the observability layer.
+
+Metrics (counter bumps) are **default-on**: they cost a handful of lock
+acquisitions per root search / per request, which profiling shows is
+well under the acceptance budget (<10 % on ``build_serial``).  Tracing
+is **opt-in** because span records allocate and the ring buffer retains
+references; enable it with::
+
+    from repro import obs
+    obs.configure(tracing=True, trace_capacity=65536)
+
+Hot call sites read the module-level ``METRICS`` / ``TRACING`` booleans
+directly (one attribute lookup) instead of going through a function, so
+a disabled layer costs a single dict hit per instrumented operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObsConfig", "configure", "current_config"]
+
+#: Fast-path flags, mirrored from the active :class:`ObsConfig`.
+METRICS: bool = True
+TRACING: bool = False
+TRACE_CAPACITY: int = 4096
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """A snapshot of the observability configuration.
+
+    Attributes:
+        metrics: whether counter/gauge/histogram updates are recorded.
+        tracing: whether spans and events are captured.
+        trace_capacity: ring-buffer size of the global tracer (oldest
+            records are dropped once full).
+    """
+
+    metrics: bool = True
+    tracing: bool = False
+    trace_capacity: int = 4096
+
+
+def configure(
+    metrics: bool | None = None,
+    tracing: bool | None = None,
+    trace_capacity: int | None = None,
+) -> ObsConfig:
+    """Update the global observability configuration.
+
+    Only the arguments passed (non-``None``) are changed.  Returns the
+    resulting configuration snapshot.
+
+    Raises:
+        ValueError: for a non-positive trace capacity.
+    """
+    global METRICS, TRACING, TRACE_CAPACITY
+    if metrics is not None:
+        METRICS = bool(metrics)
+    if tracing is not None:
+        TRACING = bool(tracing)
+    if trace_capacity is not None:
+        if trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        TRACE_CAPACITY = int(trace_capacity)
+    return current_config()
+
+
+def current_config() -> ObsConfig:
+    """The active configuration as an immutable snapshot."""
+    return ObsConfig(
+        metrics=METRICS, tracing=TRACING, trace_capacity=TRACE_CAPACITY
+    )

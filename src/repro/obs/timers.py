@@ -1,0 +1,164 @@
+"""Phase timers and a sampling profiler for hot loops.
+
+:class:`PhaseTimer` accumulates wall time per named build phase
+(ordering, search, finalize, ...) and mirrors each phase into the
+``parapll_build_phase_seconds`` gauge so phase timings show up in
+metric snapshots alongside the counters.
+
+:class:`SamplingProfiler` is the opt-in "where is the time going"
+hook: a daemon thread periodically samples every live thread's top
+stack frame via ``sys._current_frames()`` (stdlib, no dependency) and
+tallies ``(function, file, line)`` hit counts.  Sampling costs nothing
+on the hot path itself — the profiled code runs unmodified.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import config as _config
+from repro.obs.metrics import Gauge, MetricsRegistry, get_registry
+
+__all__ = ["PhaseTimer", "SamplingProfiler"]
+
+
+class PhaseTimer:
+    """Accumulates elapsed seconds per named phase.
+
+    Args:
+        registry: registry to mirror phases into (default: the global
+            one); pass ``None``-like ``mirror=False`` semantics by
+            disabling metrics globally.
+        metric: gauge name used for mirroring.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        metric: str = "parapll_build_phase_seconds",
+    ) -> None:
+        self._acc: Dict[str, float] = {}
+        self._registry = registry or get_registry()
+        self._gauge: Gauge = self._registry.gauge(
+            metric, "Accumulated seconds per build phase", labels=("phase",)
+        )
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one phase (re-entering the same name accumulates)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._acc[name] = self._acc.get(name, 0.0) + elapsed
+            if _config.METRICS:
+                self._gauge.labels(phase=name).set(self._acc[name])
+
+    def report(self) -> Dict[str, float]:
+        """Phase name -> accumulated seconds, in first-entry order."""
+        return dict(self._acc)
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase times."""
+        return sum(self._acc.values())
+
+    def summary(self) -> str:
+        """One line: ``order 0.012s | search 1.204s | finalize 0.003s``."""
+        return " | ".join(
+            f"{name} {secs:.3f}s" for name, secs in self._acc.items()
+        )
+
+
+class SamplingProfiler:
+    """A low-overhead statistical profiler over all live threads.
+
+    Args:
+        interval: seconds between samples (default 5 ms).
+        max_samples: stop sampling after this many ticks (bounds memory
+            and guards against a forgotten ``stop()``).
+
+    Use as a context manager::
+
+        with SamplingProfiler(interval=0.002) as prof:
+            build_serial(graph)
+        for (func, file, line), hits in prof.top(5):
+            ...
+    """
+
+    def __init__(
+        self, interval: float = 0.005, max_samples: int = 200_000
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_samples = max_samples
+        self._tally: _TallyCounter = _TallyCounter()
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.is_set() and self._samples < self.max_samples:
+            for ident, frame in sys._current_frames().items():
+                if ident == own:
+                    continue
+                code = frame.f_code
+                self._tally[
+                    (code.co_name, code.co_filename, frame.f_lineno)
+                ] += 1
+            self._samples += 1
+            self._stop.wait(self.interval)
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling on a daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Number of sampling ticks taken."""
+        return self._samples
+
+    def top(self, n: int = 10) -> List[Tuple[Tuple[str, str, int], int]]:
+        """The *n* most-sampled ``(function, file, line)`` sites."""
+        return self._tally.most_common(n)
+
+    def summary(self, n: int = 10) -> str:
+        """Human-readable top-N report."""
+        lines = [f"{self._samples} samples @ {self.interval * 1e3:.1f}ms"]
+        for (func, filename, lineno), hits in self.top(n):
+            share = hits / max(1, sum(self._tally.values()))
+            lines.append(
+                f"  {share:5.1%} {func} ({filename.rsplit('/', 1)[-1]}"
+                f":{lineno})"
+            )
+        return "\n".join(lines)

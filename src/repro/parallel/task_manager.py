@@ -21,6 +21,8 @@ import threading
 from typing import List, Optional, Protocol, Sequence
 
 from repro.errors import TaskError
+from repro.obs import config as _obs_config
+from repro.obs.instruments import TASKS_DISPATCHED
 
 __all__ = [
     "TaskAssignment",
@@ -62,6 +64,7 @@ class StaticAssignment:
         # remaining() aggregate used by monitors.
         self._cursors = [0] * num_workers
         self._lock = threading.Lock()
+        self._dispatched = TASKS_DISPATCHED.labels(policy="static")
 
     def next_task(self, worker: int) -> Optional[int]:
         """Next pre-assigned root for *worker* (``None`` when exhausted)."""
@@ -72,6 +75,8 @@ class StaticAssignment:
         if cursor >= len(queue):
             return None
         self._cursors[worker] = cursor + 1
+        if _obs_config.METRICS:
+            self._dispatched.inc()
         return queue[cursor]
 
     def remaining(self) -> int:
@@ -116,11 +121,14 @@ class DynamicAssignment:
         self._next = 0
         self._lock = threading.Lock()
         self._buffers: dict[int, List[int]] = {}
+        self._dispatched = TASKS_DISPATCHED.labels(policy="dynamic")
 
     def next_task(self, worker: int) -> Optional[int]:
         """Take the highest-ranked unindexed vertex (``None`` when done)."""
         buffer = self._buffers.get(worker)
         if buffer:
+            if _obs_config.METRICS:
+                self._dispatched.inc()
             return buffer.pop(0)
         with self._lock:
             if self._next >= len(self._order):
@@ -131,6 +139,8 @@ class DynamicAssignment:
         taken = self._order[lo:hi]
         if len(taken) > 1:
             self._buffers[worker] = taken[1:]
+        if _obs_config.METRICS:
+            self._dispatched.inc()
         return taken[0]
 
     def remaining(self) -> int:

@@ -26,6 +26,9 @@ from repro.core.labels import LabelStore
 from repro.errors import TaskError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import config as _obs_config
+from repro.obs import instruments as _inst
+from repro.obs import trace as _trace
 from repro.parallel.task_manager import make_assignment
 from repro.types import IndexStats
 
@@ -72,29 +75,54 @@ def build_parallel_threads(
         from repro.core.engines import make_engine
 
         search = make_engine(engine, graph, order)
+        # Per-worker metric series, resolved once outside the loop.
+        roots_done = _inst.WORKER_ROOTS.labels(worker=str(worker_id))
+        queue_wait = _inst.WORKER_QUEUE_WAIT.labels(worker=str(worker_id))
+        perf = time.perf_counter
         try:
             while True:
+                t_ask = perf()
                 root = assignment.next_task(worker_id)
+                wait = perf() - t_ask
                 if root is None:
                     return
-                delta = search.run(root, store)
-                root_rank = search.rank_of(root)
-                with commit_lock:
-                    store.add_delta(
-                        (v, root_rank, d) for v, d in delta
-                    )
+                with _trace.span(
+                    "root_search", worker=worker_id, root=root
+                ) as sp:
+                    delta = search.run(root, store)
+                    root_rank = search.rank_of(root)
+                    t_req = perf()
+                    with commit_lock:
+                        t_acq = perf()
+                        store.add_delta(
+                            (v, root_rank, d) for v, d in delta
+                        )
+                    t_rel = perf()
+                    sp.set(labels=len(delta))
+                if _obs_config.METRICS:
+                    roots_done.inc()
+                    queue_wait.inc(wait)
+                    _inst.COMMITS.inc()
+                    _inst.COMMIT_LOCK_WAIT.inc(t_acq - t_req)
+                    _inst.COMMIT_LOCK_HOLD.inc(t_rel - t_acq)
         except BaseException as exc:  # surfaced to the caller below
             errors.append(exc)
 
     t0 = time.perf_counter()
-    threads = [
-        threading.Thread(target=worker, args=(k,), name=f"parapll-{k}")
-        for k in range(num_threads)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    with _trace.span(
+        "build_parallel_threads",
+        threads=num_threads,
+        policy=policy,
+        n=graph.num_vertices,
+    ):
+        threads = [
+            threading.Thread(target=worker, args=(k,), name=f"parapll-{k}")
+            for k in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
     elapsed = time.perf_counter() - t0
     if errors:
         raise errors[0]

@@ -16,6 +16,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.knn import KNNIndex
 from repro.errors import GraphError
+from repro.obs import config as _obs_config
+from repro.obs.instruments import ORACLE_CACHE_HITS, ORACLE_QUERIES
 
 __all__ = ["DistanceOracle", "OracleStats"]
 
@@ -77,6 +79,8 @@ class DistanceOracle:
     def distance(self, s: int, t: int) -> float:
         """Cached exact distance between *s* and *t*."""
         key = (s, t) if s <= t else (t, s)
+        if _obs_config.METRICS:
+            ORACLE_QUERIES.inc()
         with self._lock:
             self.stats.queries += 1
             if self.cache_size:
@@ -84,6 +88,8 @@ class DistanceOracle:
                 if cached is not None:
                     self._cache.move_to_end(key)
                     self.stats.cache_hits += 1
+                    if _obs_config.METRICS:
+                        ORACLE_CACHE_HITS.inc()
                     return cached
         value = self.index.distance(s, t)
         if self.cache_size:

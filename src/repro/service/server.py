@@ -9,11 +9,18 @@ Requests::
     {"op": "knn", "s": 3, "k": 5}
     {"op": "path", "s": 3, "t": 42}
     {"op": "stats"}
+    {"op": "metrics"}
     {"op": "ping"}
 
 Responses carry ``{"ok": true, ...result fields}`` or
 ``{"ok": false, "error": "..."}``.  Unreachable distances are encoded
 as the string ``"inf"`` (JSON has no infinity).
+
+Every request is counted into the observability registry
+(``parapll_service_requests_total{op=...}`` plus a latency histogram);
+``{"op": "metrics"}`` returns the full registry snapshot so any client
+can scrape a live server.  Lines that fail JSON decoding are counted
+and logged (logger ``repro.service``) instead of silently answered.
 
 The server is a stdlib ``ThreadingTCPServer``; one thread per
 connection, the oracle itself is thread-safe.  Intended for trusted
@@ -23,16 +30,22 @@ local/internal callers (no authentication), like any sidecar cache.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.instruments import SERVICE_MALFORMED, record_request
+from repro.obs.metrics import get_registry
 from repro.service.oracle import DistanceOracle
 
 __all__ = ["DistanceServer", "DistanceClient"]
+
+logger = logging.getLogger("repro.service")
 
 
 def _encode(value: float) -> Any:
@@ -41,22 +54,53 @@ def _encode(value: float) -> Any:
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via client
-        oracle: DistanceOracle = self.server.oracle  # type: ignore[attr-defined]
+        server = self.server
+        oracle: DistanceOracle = server.oracle  # type: ignore[attr-defined]
         for raw in self.rfile:
             line = raw.strip()
             if not line:
                 continue
             try:
-                response = _dispatch(oracle, json.loads(line))
+                req = json.loads(line)
+            except ValueError as exc:
+                server.count_malformed()  # type: ignore[attr-defined]
+                logger.warning(
+                    "malformed request line (%s): %r", exc, line[:200]
+                )
+                response = {"ok": False, "error": f"malformed json: {exc}"}
+                self._reply(response)
+                continue
+            if not isinstance(req, dict):
+                server.count_malformed()  # type: ignore[attr-defined]
+                logger.warning(
+                    "request line is not a JSON object: %r", line[:200]
+                )
+                self._reply(
+                    {"ok": False, "error": "request must be a JSON object"}
+                )
+                continue
+            t0 = time.perf_counter()
+            try:
+                response = _dispatch(oracle, req, server)
             except ReproError as exc:
                 response = {"ok": False, "error": str(exc)}
             except (ValueError, KeyError, TypeError) as exc:
                 response = {"ok": False, "error": f"bad request: {exc}"}
-            self.wfile.write(json.dumps(response).encode() + b"\n")
-            self.wfile.flush()
+            record_request(
+                req.get("op") if isinstance(req, dict) else None,
+                time.perf_counter() - t0,
+                bool(response.get("ok")),
+            )
+            self._reply(response)
+
+    def _reply(self, response: Dict[str, Any]) -> None:  # pragma: no cover
+        self.wfile.write(json.dumps(response).encode() + b"\n")
+        self.wfile.flush()
 
 
-def _dispatch(oracle: DistanceOracle, req: Dict[str, Any]) -> Dict[str, Any]:
+def _dispatch(
+    oracle: DistanceOracle, req: Dict[str, Any], server: Any = None
+) -> Dict[str, Any]:
     op = req.get("op")
     if op == "ping":
         return {"ok": True, "pong": True}
@@ -83,8 +127,34 @@ def _dispatch(oracle: DistanceOracle, req: Dict[str, Any]) -> Dict[str, Any]:
             "cache_hits": s.cache_hits,
             "hit_rate": s.hit_rate,
             "knn_queries": s.knn_queries,
+            "malformed_lines": (
+                server.malformed_count if server is not None else 0
+            ),
+        }
+    if op == "metrics":
+        return {
+            "ok": True,
+            "metrics": get_registry().snapshot(),
+            "malformed_lines": (
+                server.malformed_count if server is not None else 0
+            ),
         }
     return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    """ThreadingTCPServer that counts malformed request lines."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.malformed_count = 0
+        self._malformed_lock = threading.Lock()
+
+    def count_malformed(self) -> None:
+        """Record one undecodable request line (thread-safe)."""
+        with self._malformed_lock:
+            self.malformed_count += 1
+        SERVICE_MALFORMED.inc()
 
 
 class DistanceServer:
@@ -106,7 +176,7 @@ class DistanceServer:
     def __init__(
         self, oracle: DistanceOracle, host: str = "127.0.0.1", port: int = 0
     ) -> None:
-        self._tcp = socketserver.ThreadingTCPServer(
+        self._tcp = _TCPServer(
             (host, port), _Handler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
@@ -117,6 +187,11 @@ class DistanceServer:
     def port(self) -> int:
         """The bound port."""
         return self._tcp.server_address[1]
+
+    @property
+    def malformed_lines(self) -> int:
+        """Request lines that failed JSON decoding since startup."""
+        return self._tcp.malformed_count
 
     def start(self) -> "DistanceServer":
         """Start serving on a background thread; returns self."""
@@ -194,6 +269,17 @@ class DistanceClient:
     def stats(self) -> Dict[str, Any]:
         """Server-side request counters."""
         out = self._call({"op": "stats"})
+        out.pop("ok", None)
+        return out
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's full observability snapshot.
+
+        Returns:
+            dict with ``metrics`` (the registry snapshot, a list of
+            metric dicts) and ``malformed_lines``.
+        """
+        out = self._call({"op": "metrics"})
         out.pop("ok", None)
         return out
 

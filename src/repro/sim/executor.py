@@ -40,6 +40,9 @@ from repro.core.labels import LabelStore
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import config as _obs_config
+from repro.obs import trace as _trace
+from repro.obs.instruments import CLUSTER_REDUNDANT_LABELS
 from repro.parallel.task_manager import make_assignment
 from repro.sim.costmodel import CostModel
 from repro.types import IndexStats, ParallelRunResult, SearchStats
@@ -242,6 +245,20 @@ class IntraNodeSimulator:
                 self.worker_busy[w] += t - start
                 if self.record_schedule:
                     self.schedule.append((w, root, start, t))
+                if _obs_config.TRACING:
+                    # Same schema as the real builders' "root_search"
+                    # records, but stamped with *simulated* seconds
+                    # (clock="sim"; see DESIGN.md §7).
+                    _trace.event(
+                        "root_search",
+                        ts=t,
+                        worker=w,
+                        root=root,
+                        labels=len(triples),
+                        start=start,
+                        finish=t,
+                        clock="sim",
+                    )
                 seq += 1
                 heapq.heappush(events, (t, self._EV_FREE, seq, (w,)))
 
@@ -270,15 +287,26 @@ class IntraNodeSimulator:
         self._pending_deltas = []
         return out
 
-    def receive_labels(self, triples: Sequence[Tuple[int, int, float]]) -> None:
+    def receive_labels(self, triples: Sequence[Tuple[int, int, float]]) -> int:
         """Merge remote label triples into this node's local store.
 
-        Exact duplicates of entries already present are skipped.
+        Exact duplicates of entries already present are skipped and
+        counted — they are the redundant labels a serial build would
+        never have produced (Table 5's label growth).
+
+        Returns:
+            The number of skipped (redundant) entries.
         """
         store = self.store
+        skipped = 0
         for v, h, d in triples:
             if h not in store.hubs_of(v):
                 store.add(v, h, d)
+            else:
+                skipped += 1
+        if skipped and _obs_config.METRICS:
+            CLUSTER_REDUNDANT_LABELS.inc(skipped)
+        return skipped
 
 
 def simulate_intra_node(

@@ -158,3 +158,47 @@ class TestBenchPassthrough:
         )
         assert code == 0
         assert "Gnutella" in capsys.readouterr().out
+
+
+class TestObs:
+    def test_summary_and_exports(self, graph_file, tmp_path, capsys):
+        import json
+
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "obs",
+                "--graph",
+                graph_file,
+                "--threads",
+                "2",
+                "--prom",
+                str(prom),
+                "--jsonl",
+                str(jsonl),
+            ]
+        )
+        assert code == 0
+        n = load_graph_npz(graph_file).num_vertices
+        out = capsys.readouterr().out
+        assert "observability summary" in out
+        assert f"roots searched     {n}" in out
+        assert "workers:" in out
+        assert f"parapll_build_roots_total {n}" in prom.read_text()
+        with open(jsonl) as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        assert any(r["name"] == "root_search" for r in records)
+        # --jsonl implies tracing for the build only; it is off again.
+        from repro.obs import config as obs_config
+
+        assert obs_config.TRACING is False
+
+    def test_dataset_source_serial(self, capsys):
+        code = main(
+            ["obs", "--dataset", "Gnutella", "--scale", "0.1", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built Gnutella" in out
+        assert "prune rate" in out

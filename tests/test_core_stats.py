@@ -78,3 +78,16 @@ class TestSummary:
 
     def test_per_root_counts(self):
         assert per_root_label_counts(stats_with([3, 0, 7])) == [3, 0, 7]
+
+
+class TestPublicSurface:
+    def test_all_exports_complete(self):
+        # Regression: roots_to_reach and per_root_label_counts were
+        # documented API but missing from __all__, so star imports and
+        # API-surface tooling silently dropped them.
+        from repro.core import stats as mod
+
+        assert "roots_to_reach" in mod.__all__
+        assert "per_root_label_counts" in mod.__all__
+        for name in mod.__all__:
+            assert callable(getattr(mod, name))

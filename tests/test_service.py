@@ -181,3 +181,77 @@ class TestServer:
             response = json.loads(f.readline())
             assert response["ok"] is False
             assert "unknown op" in response["error"]
+
+    def test_malformed_line_counted(self, server):
+        import json
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            response = json.loads(f.readline())
+            assert response["ok"] is False
+            assert "malformed" in response["error"]
+            # The connection survives a garbage line.
+            f.write(b'{"op": "ping"}\n')
+            f.flush()
+            assert json.loads(f.readline())["ok"] is True
+        assert server.malformed_lines >= 1
+
+    def test_non_object_json_counted_malformed(self, server):
+        import json
+        import socket
+
+        before = server.malformed_lines
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"[1, 2, 3]\n")
+            f.flush()
+            response = json.loads(f.readline())
+            assert response["ok"] is False
+        assert server.malformed_lines == before + 1
+
+    def test_stats_reports_malformed_lines(self, server):
+        import json
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"{broken\n")
+            f.flush()
+            f.readline()
+        with DistanceClient("127.0.0.1", server.port) as client:
+            stats = client.stats()
+            assert stats["malformed_lines"] >= 1
+
+    def test_metrics_op(self, server):
+        from repro import obs
+
+        obs.reset()
+        with DistanceClient("127.0.0.1", server.port) as client:
+            client.distance(0, 1)
+            snapshot = client.metrics()
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        requests = by_name["parapll_service_requests_total"]
+        distance_series = [
+            s
+            for s in requests["series"]
+            if s["labels"] == {"op": "distance"}
+        ]
+        assert distance_series and distance_series[0]["value"] >= 1
+        # Latency histogram observed the same request.
+        latency = by_name["parapll_service_request_seconds"]
+        dist_lat = [
+            s
+            for s in latency["series"]
+            if s["labels"] == {"op": "distance"}
+        ]
+        assert dist_lat and dist_lat[0]["value"]["count"] >= 1
+        assert "malformed_lines" in snapshot
