@@ -38,6 +38,7 @@ __all__ = [
     "experiment_fig7",
     "experiment_headline",
     "metrics_snapshot",
+    "snapshot_document",
     "reset_metrics",
 ]
 
@@ -60,6 +61,29 @@ def metrics_snapshot() -> List[Dict]:
     from repro import obs
 
     return obs.get_registry().snapshot()
+
+
+def snapshot_document(
+    experiment: str, elapsed_seconds: Optional[float] = None
+) -> Dict:
+    """A metrics snapshot stamped with environment metadata.
+
+    This is what the bench runner persists as ``{name}.metrics.json``:
+    the registry snapshot plus python version, platform, CPU count,
+    git SHA and a UTC timestamp, so results from different machines or
+    revisions are never silently conflated.
+    """
+    from repro.obs.env import environment_metadata
+
+    doc: Dict = {
+        "schema": "parapll-metrics/2",
+        "experiment": experiment,
+        "environment": environment_metadata(),
+        "metrics": metrics_snapshot(),
+    }
+    if elapsed_seconds is not None:
+        doc["elapsed_seconds"] = elapsed_seconds
+    return doc
 
 
 @dataclass

@@ -109,9 +109,14 @@ def run_experiment(
     """Run one experiment, returning its rendered text (CSV side effect).
 
     When *out_dir* is given, the observability snapshot covering the
-    experiment is written next to its CSV as ``{name}.metrics.json``.
+    experiment is written next to its CSV as ``{name}.metrics.json``
+    (a document embedding environment metadata — python version,
+    platform, CPU count, git SHA, UTC timestamp — so results from
+    different machines are never silently conflated), and the same
+    metadata is written once per directory as ``environment.json`` to
+    stamp the CSVs too.
     """
-    from repro.bench.harness import metrics_snapshot, reset_metrics
+    from repro.bench.harness import reset_metrics, snapshot_document
 
     reset_metrics()
     t0 = time.perf_counter()
@@ -164,6 +169,7 @@ def run_experiment(
     if out_dir:
         import json
 
+        document = snapshot_document(name, elapsed_seconds=elapsed)
         os.makedirs(out_dir, exist_ok=True)
         write_csv(rows, os.path.join(out_dir, f"{name}.csv"))
         with open(
@@ -171,7 +177,11 @@ def run_experiment(
             "w",
             encoding="utf-8",
         ) as fh:
-            json.dump(metrics_snapshot(), fh, indent=1)
+            json.dump(document, fh, indent=1)
+        with open(
+            os.path.join(out_dir, "environment.json"), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(document["environment"], fh, indent=1)
     return f"{text}\n[{name} finished in {elapsed:.1f}s]\n"
 
 

@@ -9,6 +9,9 @@ Subcommands::
     parapll stats    --index g.index.npz                   # label stats
     parapll obs      --graph g.npz --threads 4             # observed build
     parapll bench    --experiment table4                   # = repro.bench
+    parapll perf     run --tag dev                         # benchmark suite
+    parapll perf     compare benchmarks/baseline.json BENCH_dev.json
+    parapll timeline --dataset Gnutella --sim --out t.json # Perfetto trace
 
 Graphs are accepted as ``.npz`` (our binary cache), ``.gr`` (DIMACS) or
 anything else (treated as a SNAP edge list).
@@ -143,6 +146,123 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_BASELINE = "benchmarks/baseline.json"
+
+
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.obs.perf import render_bench, run_suite, write_bench
+
+    doc = run_suite(
+        repeats=args.repeats,
+        scale=args.scale,
+        seed=args.seed,
+        dataset=args.dataset,
+        tag=args.tag,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    out = args.out or f"BENCH_{args.tag}.json"
+    write_bench(doc, out)
+    print(render_bench(doc))
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.obs.perf import read_bench
+    from repro.obs.regression import compare
+
+    report = compare(
+        read_bench(args.baseline),
+        read_bench(args.current),
+        tolerance_scale=args.tolerance_scale,
+        ignore_kinds=tuple(args.ignore_kinds or ()),
+    )
+    print(report.render(verbose=args.verbose))
+    return report.exit_code
+
+
+def _cmd_perf_update_baseline(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.perf import run_suite, write_bench
+
+    doc = run_suite(
+        repeats=args.repeats,
+        scale=args.scale,
+        seed=args.seed,
+        dataset=args.dataset,
+        tag="baseline",
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    parent = os.path.dirname(args.baseline)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    write_bench(doc, args.baseline)
+    print(f"wrote new baseline to {args.baseline}")
+    return 0
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.obs.perf import read_bench, render_bench
+
+    print(render_bench(read_bench(args.file)))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Capture (or convert) a trace; export Chrome JSON + critical path."""
+    from repro import obs
+    from repro.obs import timeline as _timeline
+
+    if args.from_jsonl:
+        records = obs.read_trace_jsonl(args.from_jsonl)
+    else:
+        if args.graph:
+            graph = _load_graph(args.graph)
+        else:
+            graph = load_dataset(
+                args.dataset, scale=args.scale, seed=args.seed
+            )
+        obs.reset()
+        previous = obs.current_config()
+        obs.configure(metrics=True, tracing=True)
+        try:
+            if args.sim:
+                from repro.sim.executor import simulate_intra_node
+
+                simulate_intra_node(
+                    graph,
+                    args.threads,
+                    policy=args.policy,
+                    jitter=0.15,
+                    worker_jitter=0.25,
+                    seed=args.seed,
+                )
+            elif args.threads > 1:
+                build_parallel_threads(graph, args.threads, policy=args.policy)
+            else:
+                PLLIndex.build(graph)
+        finally:
+            obs.configure(
+                metrics=previous.metrics, tracing=previous.tracing
+            )
+        records = list(obs.get_tracer().records())
+
+    if args.out:
+        count = _timeline.write_chrome_trace(args.out, records)
+        print(
+            f"wrote {count} Chrome trace events to {args.out} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+    try:
+        report = _timeline.analyze_critical_path(records, top_k=args.top)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_timeline.render_critical_path(report))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Reached only via "parapll bench" with no extra arguments (the
     # passthrough in main() handles the argument-forwarding case).
@@ -230,6 +350,88 @@ def _build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     b.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "perf",
+        help="benchmark suite: record, compare and gate performance",
+    )
+    psub = p.add_subparsers(dest="perf_command", required=True)
+
+    def _suite_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--repeats", type=int, default=3)
+        sp.add_argument("--scale", type=float, default=1.0)
+        sp.add_argument("--seed", type=int, default=42)
+        sp.add_argument("--dataset", choices=dataset_names(), default="Gnutella")
+
+    pr = psub.add_parser("run", help="run the suite, write BENCH_<tag>.json")
+    _suite_args(pr)
+    pr.add_argument("--tag", default="dev", help="label for the BENCH file")
+    pr.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default BENCH_<tag>.json)",
+    )
+    pr.set_defaults(func=_cmd_perf_run)
+
+    pc = psub.add_parser(
+        "compare", help="gate a BENCH file against a baseline"
+    )
+    pc.add_argument("baseline", help="baseline BENCH file")
+    pc.add_argument("current", help="current BENCH file")
+    pc.add_argument(
+        "--tolerance-scale", type=float, default=1.0,
+        help="multiply every per-metric tolerance (e.g. 2.0 on noisy CI)",
+    )
+    pc.add_argument(
+        "--ignore-kinds", nargs="*", default=None,
+        metavar="KIND", choices=("time", "sim", "counter"),
+        help="skip metric kinds (use 'time' when machines differ)",
+    )
+    pc.add_argument("-v", "--verbose", action="store_true")
+    pc.set_defaults(func=_cmd_perf_compare)
+
+    pu = psub.add_parser(
+        "update-baseline", help="re-run the suite and overwrite the baseline"
+    )
+    _suite_args(pu)
+    pu.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline path (default {DEFAULT_BASELINE})",
+    )
+    pu.set_defaults(func=_cmd_perf_update_baseline)
+
+    pp = psub.add_parser("report", help="render a BENCH file")
+    pp.add_argument("file")
+    pp.set_defaults(func=_cmd_perf_report)
+
+    t = sub.add_parser(
+        "timeline",
+        help="trace a build into Chrome trace JSON + critical path",
+    )
+    tsrc = t.add_mutually_exclusive_group(required=True)
+    tsrc.add_argument("--graph", help="graph file (.npz / .gr / edge list)")
+    tsrc.add_argument(
+        "--dataset", choices=dataset_names(), help="generate a stand-in"
+    )
+    tsrc.add_argument(
+        "--from-jsonl", metavar="FILE",
+        help="convert an existing JSONL trace instead of building",
+    )
+    t.add_argument("--scale", type=float, default=1.0)
+    t.add_argument("--seed", type=int, default=42)
+    t.add_argument("--threads", type=int, default=4)
+    t.add_argument("--policy", choices=("static", "dynamic"), default="dynamic")
+    t.add_argument(
+        "--sim", action="store_true",
+        help="trace the deterministic simulator instead of real threads",
+    )
+    t.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write Chrome trace JSON to FILE",
+    )
+    t.add_argument(
+        "--top", type=int, default=5, help="slowest tasks to list"
+    )
+    t.set_defaults(func=_cmd_timeline)
 
     return parser
 

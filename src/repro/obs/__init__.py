@@ -16,6 +16,12 @@ the TCP serving layer all feed one process-wide metrics registry and
 * :mod:`repro.obs.timers` — phase timers and a sampling profiler.
 * :mod:`repro.obs.instruments` — the well-known metric handles the
   instrumented modules bump.
+* :mod:`repro.obs.timeline` — Chrome-trace (Perfetto) export and
+  critical-path analysis of the trace buffer.
+* :mod:`repro.obs.perf` / :mod:`repro.obs.regression` — the benchmark
+  suite behind ``parapll perf``: recorded baselines plus the
+  improved/unchanged/regressed gate.
+* :mod:`repro.obs.env` — environment metadata stamped onto results.
 
 Metrics are default-on (cheap counter bumps); tracing is opt-in::
 
@@ -28,6 +34,7 @@ Metrics are default-on (cheap counter bumps); tracing is opt-in::
 """
 
 from repro.obs.config import ObsConfig, configure, current_config
+from repro.obs.env import environment_metadata
 from repro.obs.export import (
     prometheus_text,
     read_trace_jsonl,
@@ -42,6 +49,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     ObsError,
     get_registry,
+    histogram_quantile,
+)
+from repro.obs.timeline import (
+    CriticalPathReport,
+    analyze_critical_path,
+    chrome_trace,
+    render_critical_path,
+    write_chrome_trace,
 )
 from repro.obs.timers import PhaseTimer, SamplingProfiler
 from repro.obs.trace import TraceRecord, Tracer, event, get_tracer, span
@@ -68,6 +83,13 @@ __all__ = [
     "trace_to_jsonl",
     "write_trace_jsonl",
     "read_trace_jsonl",
+    "histogram_quantile",
+    "environment_metadata",
+    "CriticalPathReport",
+    "analyze_critical_path",
+    "chrome_trace",
+    "render_critical_path",
+    "write_chrome_trace",
     "reset",
 ]
 

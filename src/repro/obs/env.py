@@ -1,0 +1,68 @@
+"""Environment metadata stamped onto benchmark results.
+
+Benchmark numbers are only comparable when you know what produced them:
+interpreter, platform, core count, source revision, and when.  This
+module gathers that once per process (the git lookup shells out) and
+hands back a JSON-safe dict that the bench runner and the perf suite
+embed into every result file.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+from typing import Dict, Optional
+
+__all__ = ["environment_metadata", "git_revision"]
+
+_GIT_CACHE: Dict[str, Optional[str]] = {}
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit SHA, or ``None`` outside a checkout.
+
+    Best-effort: any failure (no git binary, not a repository, timeout)
+    yields ``None`` rather than an exception, so result stamping never
+    breaks a benchmark run.  The answer is cached per directory.
+    """
+    key = cwd or os.getcwd()
+    if key not in _GIT_CACHE:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5.0,
+            )
+            sha = out.stdout.strip()
+            _GIT_CACHE[key] = sha if out.returncode == 0 and sha else None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_CACHE[key] = None
+    return _GIT_CACHE[key]
+
+
+def environment_metadata() -> Dict[str, object]:
+    """A JSON-safe description of the machine and source revision.
+
+    Keys: ``python`` / ``implementation`` / ``platform`` / ``machine`` /
+    ``cpu_count`` / ``numpy`` / ``git_sha`` / ``timestamp_utc``.
+    """
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep today
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version,
+        "git_sha": git_revision(os.path.dirname(os.path.abspath(__file__))),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }

@@ -10,7 +10,13 @@ from __future__ import annotations
 import json
 from typing import IO, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    DEFAULT_QUANTILES,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    histogram_quantile,
+)
 from repro.obs.trace import TraceRecord, get_tracer
 
 __all__ = [
@@ -234,15 +240,25 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
         bcast = _series_value(snap, "parapll_cluster_bytes_total")
         metric = snap.get("parapll_cluster_sync_entries")
         entries = 0.0
+        entries_hist = None
         if metric:
             for series in metric["series"]:
                 if isinstance(series["value"], dict):
                     entries += float(series["value"]["sum"])
+                    entries_hist = series["value"]
         lines.append("cluster:")
         lines.append(
             f"  sync rounds        {int(rounds)}  "
             f"(entries exchanged {int(entries)})"
         )
+        if entries_hist and entries_hist["count"]:
+            qs = [
+                histogram_quantile(entries_hist, q) for q in DEFAULT_QUANTILES
+            ]
+            lines.append(
+                "  entries/round      p50 {:.0f} | p95 {:.0f} | "
+                "p99 {:.0f}".format(*qs)
+            )
         lines.append(
             f"  redundant labels   {int(redundant)}  "
             f"(est. bytes on the wire {int(bcast)})"
@@ -257,6 +273,22 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
             if not isinstance(s["value"], dict)
         ]
         lines.append(f"  requests           {' '.join(sorted(parts))}")
+        for series in sorted(
+            _labeled_series(snap, "parapll_service_request_seconds"),
+            key=lambda s: s["labels"].get("op", ""),
+        ):
+            value = series["value"]
+            if not isinstance(value, dict) or not value["count"]:
+                continue
+            op = series["labels"].get("op", "?")
+            qs = [
+                histogram_quantile(value, q) * 1000.0
+                for q in DEFAULT_QUANTILES
+            ]
+            lines.append(
+                "  latency {:<10} p50 {:.2f}ms | p95 {:.2f}ms | "
+                "p99 {:.2f}ms".format(op, *qs)
+            )
         errors = sum(
             float(s["value"])
             for s in _labeled_series(snap, "parapll_service_errors_total")
@@ -265,9 +297,10 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
         malformed = _series_value(
             snap, "parapll_service_malformed_lines_total"
         )
+        slow = _series_value(snap, "parapll_service_slow_requests_total")
         lines.append(
             f"  errors             {int(errors)}  "
-            f"(malformed lines {int(malformed)})"
+            f"(malformed lines {int(malformed)}, slow {int(slow)})"
         )
 
     if len(lines) == 2:

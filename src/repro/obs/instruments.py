@@ -133,6 +133,11 @@ SERVICE_MALFORMED = _REG.counter(
     "parapll_service_malformed_lines_total",
     "Request lines that failed JSON decoding",
 )
+SERVICE_SLOW = _REG.counter(
+    "parapll_service_slow_requests_total",
+    "Requests slower than the server's slow-query threshold",
+    labels=("op",),
+)
 ORACLE_QUERIES = _REG.counter(
     "parapll_oracle_queries_total",
     "Point-distance queries answered by the in-process oracle",
@@ -195,3 +200,11 @@ def record_request(
     SERVICE_LATENCY.labels(op=label).observe(seconds)
     if not ok:
         SERVICE_ERRORS.labels(op=label).inc()
+
+
+def record_slow_request(op: Optional[str]) -> None:
+    """Count one request that exceeded the slow-query threshold."""
+    if not _config.METRICS:
+        return
+    label = op if op in KNOWN_SERVICE_OPS else "unknown"
+    SERVICE_SLOW.labels(op=label).inc()

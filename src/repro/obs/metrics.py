@@ -32,7 +32,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "histogram_quantile",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUANTILES",
 ]
 
 
@@ -47,6 +49,52 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 )
 
 _INF = float("inf")
+
+#: The quantiles summaries report by default (p50 / p95 / p99).
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def histogram_quantile(snapshot: Dict[str, object], q: float) -> float:
+    """Estimate the *q*-quantile from a histogram snapshot.
+
+    Prometheus-style linear interpolation inside the bucket containing
+    the target rank, assuming observations are uniformly spread within
+    each bucket (lower edge 0 for the first bucket).  A rank landing in
+    the ``+Inf`` bucket is clamped to the highest finite bound — the
+    estimate cannot exceed what the buckets can resolve.
+
+    Args:
+        snapshot: a histogram ``value()`` dict (``buckets``/``count``).
+        q: quantile in ``[0, 1]``.
+
+    Returns:
+        The estimated quantile, or ``nan`` for an empty histogram.
+
+    Raises:
+        ObsError: for a quantile outside ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1], got {q}")
+    count = int(snapshot["count"])  # type: ignore[arg-type]
+    if count == 0:
+        return float("nan")
+    rank = q * count
+    prev_bound = 0.0
+    prev_cum = 0
+    for bound, cumulative in snapshot["buckets"]:  # type: ignore[union-attr]
+        cum = int(cumulative)
+        if cum >= rank:
+            if bound == "+Inf":
+                return prev_bound
+            upper = float(bound)
+            if cum == prev_cum:
+                return upper
+            frac = (rank - prev_cum) / (cum - prev_cum)
+            return prev_bound + (upper - prev_bound) * frac
+        if bound != "+Inf":
+            prev_bound = float(bound)
+        prev_cum = cum
+    return prev_bound
 
 
 class _Series:
@@ -136,6 +184,17 @@ class _HistogramSeries:
             running += c
             cumulative.append([bound, running])
         return {"buckets": cumulative, "sum": s, "count": total}
+
+    def quantile(self, q: float) -> float:
+        """Streaming *q*-quantile estimate (bucket interpolation)."""
+        return histogram_quantile(self.value(), q)
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[float, float]:
+        """Several quantile estimates from one snapshot."""
+        snap = self.value()
+        return {q: histogram_quantile(snap, q) for q in qs}
 
     def _reset(self) -> None:
         with self._lock:
@@ -287,6 +346,16 @@ class Histogram(_Metric):
     def value(self) -> Dict[str, object]:
         """Snapshot of the (unlabeled) series."""
         return self._default().value()
+
+    def quantile(self, q: float) -> float:
+        """Streaming *q*-quantile of the (unlabeled) series."""
+        return self._default().quantile(q)
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[float, float]:
+        """Several quantiles of the (unlabeled) series."""
+        return self._default().quantiles(qs)
 
 
 def _validate_name(name: str) -> None:

@@ -1,0 +1,481 @@
+"""The performance suite: small deterministic workloads, recorded runs.
+
+One ``BENCH_<tag>.json`` file captures everything needed to compare two
+revisions of this codebase: per-workload wall/simulated times and the
+key operation counters (heap pops, prune hits, labels, sync bytes),
+each run ``repeats`` times with the median and extremes recorded, plus
+environment metadata so numbers from different machines are never
+silently conflated.  :mod:`repro.obs.regression` consumes two such
+files and classifies every metric as improved / unchanged / regressed.
+
+Three metric kinds, with different noise characteristics:
+
+* ``"time"`` — wall-clock seconds; machine- and load-dependent, gated
+  with a generous default tolerance and skippable across machines.
+* ``"sim"`` — simulated seconds from the discrete-event executor;
+  deterministic for a fixed seed, gated tightly.
+* ``"counter"`` — operation counts; deterministic except where noted
+  (threaded-build label counts depend on commit interleaving), gated
+  exactly by default with per-metric overrides.
+
+The workload set covers every execution mode: serial build, threaded
+build at p ∈ {1, 4}, simulated build, cluster build with one sync, a
+query batch, and a TCP server round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.env import environment_metadata
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PerfError",
+    "Workload",
+    "default_workloads",
+    "run_suite",
+    "read_bench",
+    "write_bench",
+    "render_bench",
+    "DEFAULT_TOLERANCES",
+]
+
+BENCH_SCHEMA = "parapll-bench/1"
+
+#: Default relative tolerances per metric kind (see module docstring).
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "time": 0.35,
+    "sim": 0.02,
+    "counter": 0.0,
+}
+
+#: Absolute slack per kind: differences below this never count as a
+#: change (guards tiny-workload timing noise and float drift).
+ABS_EPSILON: Dict[str, float] = {
+    "time": 0.005,
+    "sim": 1e-9,
+    "counter": 0.5,
+}
+
+
+class PerfError(ReproError):
+    """Raised for invalid perf-suite configuration or result files."""
+
+
+def _metric(
+    value: float, kind: str, unit: str, tol: Optional[float] = None
+) -> Dict[str, Any]:
+    if kind not in DEFAULT_TOLERANCES:
+        raise PerfError(f"unknown metric kind {kind!r}")
+    return {
+        "value": float(value),
+        "kind": kind,
+        "unit": unit,
+        "tol": DEFAULT_TOLERANCES[kind] if tol is None else float(tol),
+    }
+
+
+def _counter_value(name: str) -> float:
+    from repro.obs.metrics import get_registry
+
+    metric = get_registry().get(name)
+    if metric is None:
+        return 0.0
+    total = 0.0
+    for _key, series in metric.series_items():
+        value = series.value()  # type: ignore[attr-defined]
+        if isinstance(value, dict):
+            total += float(value["sum"])
+        else:
+            total += float(value)
+    return total
+
+
+class PerfContext:
+    """Shared state for one suite run: the workload graph and knobs."""
+
+    def __init__(self, scale: float, seed: int, dataset: str) -> None:
+        from repro.generators.paper import load_dataset
+
+        self.scale = scale
+        self.seed = seed
+        self.dataset = dataset
+        self.graph = load_dataset(dataset, scale=scale, seed=seed)
+
+
+class Workload:
+    """One named, repeatable measurement.
+
+    Args:
+        name: stable identifier (a key of the BENCH file).
+        fn: callable taking a :class:`PerfContext` and returning the
+            metric dict for one run; called once per repeat with the
+            obs registry freshly reset.
+        timeline: optional callable producing a JSON-safe timeline
+            summary (per-worker fractions) recorded once per suite run.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[PerfContext], Dict[str, Dict[str, Any]]],
+        timeline: Optional[Callable[[PerfContext], Dict[str, Any]]] = None,
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.timeline = timeline
+
+
+# ----------------------------------------------------------------------
+# Workload implementations
+# ----------------------------------------------------------------------
+def _build_counters(tol_labels: float = 0.0) -> Dict[str, Dict[str, Any]]:
+    """The build-side operation counters, read from the registry."""
+    return {
+        "heap_pops": _metric(
+            _counter_value("parapll_build_heap_pops_total"), "counter", "ops"
+        ),
+        "prune_hits": _metric(
+            _counter_value("parapll_build_prune_hits_total"),
+            "counter",
+            "ops",
+            tol=tol_labels,
+        ),
+        "labels": _metric(
+            _counter_value("parapll_build_labels_total"),
+            "counter",
+            "entries",
+            tol=tol_labels,
+        ),
+    }
+
+
+def _wl_serial_build(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    from repro.core.serial import build_serial
+
+    t0 = time.perf_counter()
+    build_serial(ctx.graph)
+    wall = time.perf_counter() - t0
+    out = {"wall_seconds": _metric(wall, "time", "s")}
+    out.update(_build_counters())
+    return out
+
+
+def _wl_thread_build(p: int):
+    def run(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+        from repro.parallel.threads import build_parallel_threads
+
+        t0 = time.perf_counter()
+        build_parallel_threads(ctx.graph, p, policy="dynamic")
+        wall = time.perf_counter() - t0
+        out = {"wall_seconds": _metric(wall, "time", "s")}
+        # With p > 1, prune effectiveness depends on commit
+        # interleaving, so label/pop counts are noisy by nature.
+        out.update(_build_counters(tol_labels=0.0 if p == 1 else 0.5))
+        if p > 1:
+            out["heap_pops"]["tol"] = 0.5
+        out["roots"] = _metric(
+            _counter_value("parapll_build_roots_total"), "counter", "roots"
+        )
+        return out
+
+    return run
+
+
+def _run_sim(ctx: PerfContext):
+    from repro.sim.executor import simulate_intra_node
+
+    return simulate_intra_node(
+        ctx.graph,
+        4,
+        policy="dynamic",
+        jitter=0.15,
+        worker_jitter=0.25,
+        seed=ctx.seed + 4,
+    )
+
+
+def _wl_sim_build(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    _index, run = _run_sim(ctx)
+    out = {
+        "makespan_sim_seconds": _metric(run.makespan, "sim", "s"),
+        "computation_sim_seconds": _metric(
+            run.computation_time, "sim", "s"
+        ),
+    }
+    out.update(_build_counters())
+    return out
+
+
+def _wl_sim_build_timeline(ctx: PerfContext) -> Dict[str, Any]:
+    """Traced sim build reduced to per-worker fractions (JSON-safe)."""
+    from repro import obs
+    from repro.obs.timeline import analyze_critical_path
+
+    previous = obs.current_config()
+    obs.get_tracer().clear()
+    obs.configure(tracing=True)
+    try:
+        _run_sim(ctx)
+        report = analyze_critical_path(task_names=("root_search",))
+    finally:
+        obs.configure(tracing=previous.tracing)
+        obs.get_tracer().clear()
+    return {
+        "makespan_sim_seconds": report.makespan,
+        "chain_tasks": len(report.chain),
+        "chain_seconds": report.chain_seconds,
+        "chain_coverage": report.chain_coverage,
+        "workers": [
+            {
+                "lane": lane.lane,
+                "tasks": lane.tasks,
+                "busy": lane.busy,
+                "lock_wait": lane.lock_wait,
+                "idle": lane.idle,
+            }
+            for lane in report.lanes
+        ],
+    }
+
+
+def _wl_cluster_build(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    from repro.cluster.parapll import simulate_cluster
+
+    _index, run = simulate_cluster(
+        ctx.graph,
+        2,
+        threads_per_node=2,
+        policy="dynamic",
+        syncs=1,
+        jitter=0.15,
+        worker_jitter=0.25,
+        seed=ctx.seed + 9,
+    )
+    return {
+        "makespan_sim_seconds": _metric(run.makespan, "sim", "s"),
+        "communication_sim_seconds": _metric(
+            run.communication_time, "sim", "s"
+        ),
+        "sync_entries": _metric(
+            _counter_value("parapll_cluster_sync_entries"),
+            "counter",
+            "entries",
+        ),
+        "sync_bytes": _metric(
+            _counter_value("parapll_cluster_bytes_total"), "counter", "B"
+        ),
+        "redundant_labels": _metric(
+            _counter_value("parapll_cluster_redundant_labels_total"),
+            "counter",
+            "entries",
+        ),
+    }
+
+
+def _wl_query_batch(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    import numpy as np
+
+    from repro.core.index import PLLIndex
+
+    index = PLLIndex.build(ctx.graph)
+    n = ctx.graph.num_vertices
+    rng = np.random.default_rng(ctx.seed)
+    pairs = rng.integers(0, n, size=(2000, 2))
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        index.query(int(s), int(t))
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": _metric(wall, "time", "s"),
+        "queries": _metric(len(pairs), "counter", "queries"),
+    }
+
+
+def _wl_server_roundtrip(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    import numpy as np
+
+    from repro.core.index import PLLIndex
+    from repro.service.oracle import DistanceOracle
+    from repro.service.server import DistanceClient, DistanceServer
+
+    index = PLLIndex.build(ctx.graph)
+    oracle = DistanceOracle(index)
+    n = ctx.graph.num_vertices
+    rng = np.random.default_rng(ctx.seed)
+    pairs = rng.integers(0, n, size=(100, 2))
+    with DistanceServer(oracle) as server:
+        with DistanceClient("127.0.0.1", server.port) as client:
+            client.ping()  # connection warm-up, excluded from timing
+            t0 = time.perf_counter()
+            for s, t in pairs:
+                client.distance(int(s), int(t))
+            wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": _metric(wall, "time", "s"),
+        "requests": _metric(len(pairs), "counter", "requests"),
+    }
+
+
+def default_workloads() -> List[Workload]:
+    """The standard PerfSuite (one Workload per execution mode)."""
+    return [
+        Workload("serial_build", _wl_serial_build),
+        Workload("thread_build_p1", _wl_thread_build(1)),
+        Workload("thread_build_p4", _wl_thread_build(4)),
+        Workload("sim_build_p4", _wl_sim_build, timeline=_wl_sim_build_timeline),
+        Workload("cluster_build_q2c1", _wl_cluster_build),
+        Workload("query_batch", _wl_query_batch),
+        Workload("server_roundtrip", _wl_server_roundtrip),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suite runner
+# ----------------------------------------------------------------------
+def run_suite(
+    repeats: int = 3,
+    scale: float = 1.0,
+    seed: int = 42,
+    dataset: str = "Gnutella",
+    tag: str = "dev",
+    workloads: Optional[Sequence[Workload]] = None,
+    include_timeline: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the PerfSuite and return the BENCH document.
+
+    Each workload runs *repeats* times with the metrics registry reset
+    per run; per-metric medians and extremes are recorded.  Counters are
+    deterministic, so their median doubles as an exact fingerprint of
+    the algorithmic work done.
+
+    Raises:
+        PerfError: for a non-positive repeat count.
+    """
+    from repro import obs
+
+    if repeats < 1:
+        raise PerfError("repeats must be >= 1")
+    ctx = PerfContext(scale=scale, seed=seed, dataset=dataset)
+    workloads = list(workloads) if workloads is not None else default_workloads()
+
+    results: Dict[str, Any] = {}
+    for wl in workloads:
+        if progress:
+            progress(f"running {wl.name} x{repeats}")
+        runs: List[Dict[str, Dict[str, Any]]] = []
+        for _ in range(repeats):
+            obs.reset()
+            runs.append(wl.fn(ctx))
+        obs.reset()
+        metrics: Dict[str, Any] = {}
+        for name in runs[0]:
+            samples = [run[name]["value"] for run in runs if name in run]
+            meta = runs[0][name]
+            metrics[name] = {
+                "median": statistics.median(samples),
+                "min": min(samples),
+                "max": max(samples),
+                "runs": samples,
+                "kind": meta["kind"],
+                "unit": meta["unit"],
+                "tol": meta["tol"],
+            }
+        entry: Dict[str, Any] = {"metrics": metrics}
+        if include_timeline and wl.timeline is not None:
+            entry["timeline"] = wl.timeline(ctx)
+        results[wl.name] = entry
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "tag": tag,
+        "environment": environment_metadata(),
+        "config": {
+            "repeats": repeats,
+            "scale": scale,
+            "seed": seed,
+            "dataset": dataset,
+        },
+        "workloads": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# BENCH file IO
+# ----------------------------------------------------------------------
+def write_bench(doc: Dict[str, Any], path: str) -> None:
+    """Write a BENCH document as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def read_bench(path: str) -> Dict[str, Any]:
+    """Read and validate a BENCH document.
+
+    Raises:
+        PerfError: for unreadable files or unknown schema versions.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise PerfError(f"cannot read benchmark file {path!r}: {exc}")
+    if not isinstance(doc, dict) or "schema" not in doc:
+        raise PerfError(f"{path!r} is not a BENCH file (no schema key)")
+    if doc["schema"] != BENCH_SCHEMA:
+        raise PerfError(
+            f"{path!r} has schema {doc['schema']!r}; this build reads "
+            f"{BENCH_SCHEMA!r}"
+        )
+    if "workloads" not in doc:
+        raise PerfError(f"{path!r} has no workloads section")
+    return doc
+
+
+def render_bench(doc: Dict[str, Any]) -> str:
+    """Terminal summary of one BENCH document (``parapll perf report``)."""
+    env = doc.get("environment", {})
+    cfg = doc.get("config", {})
+    sha = env.get("git_sha") or "unknown"
+    lines = [
+        f"benchmark {doc.get('tag', '?')}  ({doc.get('schema')})",
+        f"  recorded {env.get('timestamp_utc', '?')}  git {sha[:12]}",
+        f"  python {env.get('python', '?')} on {env.get('platform', '?')}"
+        f"  ({env.get('cpu_count', '?')} cpus)",
+        f"  repeats={cfg.get('repeats', '?')} scale={cfg.get('scale', '?')}"
+        f" dataset={cfg.get('dataset', '?')}",
+    ]
+    for name in sorted(doc.get("workloads", {})):
+        entry = doc["workloads"][name]
+        lines.append(f"{name}:")
+        for metric in sorted(entry.get("metrics", {})):
+            m = entry["metrics"][metric]
+            value = m["median"]
+            shown = (
+                f"{value:.5f}" if isinstance(value, float) and value < 1e4
+                else f"{value:.0f}"
+            )
+            lines.append(
+                f"  {metric:<26} {shown:>14} {m['unit']:<7} "
+                f"[{m['kind']}, tol {m['tol']:.0%}]"
+            )
+        timeline = entry.get("timeline")
+        if timeline:
+            lines.append(
+                f"  timeline: chain {timeline['chain_tasks']} tasks "
+                f"covering {timeline['chain_coverage']:.0%} of "
+                f"{timeline['makespan_sim_seconds']:.4f} sim-s"
+            )
+            for w in timeline.get("workers", []):
+                lines.append(
+                    f"    {w['lane']:<10} busy {w['busy']:6.1%}  "
+                    f"lock-wait {w['lock_wait']:6.1%}  idle {w['idle']:6.1%}"
+                )
+    return "\n".join(lines)

@@ -98,7 +98,11 @@ def build_parallel_threads(
                             (v, root_rank, d) for v, d in delta
                         )
                     t_rel = perf()
-                    sp.set(labels=len(delta))
+                    sp.set(
+                        labels=len(delta),
+                        lock_wait=t_acq - t_req,
+                        commit=t_rel - t_acq,
+                    )
                 if _obs_config.METRICS:
                     roots_done.inc()
                     queue_wait.inc(wait)

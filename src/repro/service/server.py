@@ -16,11 +16,19 @@ Responses carry ``{"ok": true, ...result fields}`` or
 ``{"ok": false, "error": "..."}``.  Unreachable distances are encoded
 as the string ``"inf"`` (JSON has no infinity).
 
+Every response carries a server-assigned ``req_id`` (monotonically
+increasing per server) so a log line, a traced event and a client
+response can be correlated; a client-supplied ``id`` field is echoed
+back verbatim as well.
+
 Every request is counted into the observability registry
 (``parapll_service_requests_total{op=...}`` plus a latency histogram);
 ``{"op": "metrics"}`` returns the full registry snapshot so any client
-can scrape a live server.  Lines that fail JSON decoding are counted
-and logged (logger ``repro.service``) instead of silently answered.
+can scrape a live server.  Requests slower than the configurable
+``slow_query_seconds`` threshold are logged (logger ``repro.service``),
+counted (``parapll_service_slow_requests_total``) and recorded as a
+``slow_query`` trace event when tracing is on.  Lines that fail JSON
+decoding are counted and logged instead of silently answered.
 
 The server is a stdlib ``ThreadingTCPServer``; one thread per
 connection, the oracle itself is thread-safe.  Intended for trusted
@@ -29,6 +37,7 @@ local/internal callers (no authentication), like any sidecar cache.
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import math
@@ -39,8 +48,14 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.obs.instruments import SERVICE_MALFORMED, record_request
-from repro.obs.metrics import get_registry
+from repro.obs import trace as _trace
+from repro.obs.instruments import (
+    SERVICE_LATENCY,
+    SERVICE_MALFORMED,
+    record_request,
+    record_slow_request,
+)
+from repro.obs.metrics import DEFAULT_QUANTILES, get_registry
 from repro.service.oracle import DistanceOracle
 
 __all__ = ["DistanceServer", "DistanceClient"]
@@ -60,6 +75,7 @@ class _Handler(socketserver.StreamRequestHandler):
             line = raw.strip()
             if not line:
                 continue
+            req_id = server.next_request_id()  # type: ignore[attr-defined]
             try:
                 req = json.loads(line)
             except ValueError as exc:
@@ -68,7 +84,7 @@ class _Handler(socketserver.StreamRequestHandler):
                     "malformed request line (%s): %r", exc, line[:200]
                 )
                 response = {"ok": False, "error": f"malformed json: {exc}"}
-                self._reply(response)
+                self._reply(response, req_id)
                 continue
             if not isinstance(req, dict):
                 server.count_malformed()  # type: ignore[attr-defined]
@@ -76,7 +92,8 @@ class _Handler(socketserver.StreamRequestHandler):
                     "request line is not a JSON object: %r", line[:200]
                 )
                 self._reply(
-                    {"ok": False, "error": "request must be a JSON object"}
+                    {"ok": False, "error": "request must be a JSON object"},
+                    req_id,
                 )
                 continue
             t0 = time.perf_counter()
@@ -86,16 +103,60 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = {"ok": False, "error": str(exc)}
             except (ValueError, KeyError, TypeError) as exc:
                 response = {"ok": False, "error": f"bad request: {exc}"}
-            record_request(
-                req.get("op") if isinstance(req, dict) else None,
-                time.perf_counter() - t0,
-                bool(response.get("ok")),
-            )
-            self._reply(response)
+            elapsed = time.perf_counter() - t0
+            op = req.get("op")
+            record_request(op, elapsed, bool(response.get("ok")))
+            threshold = server.slow_query_seconds  # type: ignore[attr-defined]
+            if threshold is not None and elapsed >= threshold:
+                record_slow_request(op)
+                logger.warning(
+                    "slow query req_id=%d op=%r took %.4fs "
+                    "(threshold %.4fs)",
+                    req_id,
+                    op,
+                    elapsed,
+                    threshold,
+                )
+                _trace.event(
+                    "slow_query", op=op, req_id=req_id, seconds=elapsed
+                )
+            if "id" in req:
+                response["id"] = req["id"]
+            self._reply(response, req_id)
 
-    def _reply(self, response: Dict[str, Any]) -> None:  # pragma: no cover
+    def _reply(
+        self, response: Dict[str, Any], req_id: Optional[int] = None
+    ) -> None:  # pragma: no cover
+        if req_id is not None:
+            response.setdefault("req_id", req_id)
         self.wfile.write(json.dumps(response).encode() + b"\n")
         self.wfile.flush()
+
+
+def _latency_quantiles() -> Dict[str, Dict[str, float]]:
+    """p50/p95/p99 per served op, from the live latency histogram."""
+    out: Dict[str, Dict[str, float]] = {}
+    for key, series in SERVICE_LATENCY.series_items():
+        snap = series.value()  # type: ignore[attr-defined]
+        if not snap["count"]:
+            continue
+        op = key[0] if key else "?"
+        out[op] = {
+            f"p{int(q * 100)}": series.quantile(q)  # type: ignore[attr-defined]
+            for q in DEFAULT_QUANTILES
+        }
+    return out
+
+
+def _slow_request_total() -> int:
+    from repro.obs.instruments import SERVICE_SLOW
+
+    return int(
+        sum(
+            series.value()  # type: ignore[attr-defined]
+            for _key, series in SERVICE_SLOW.series_items()
+        )
+    )
 
 
 def _dispatch(
@@ -130,6 +191,8 @@ def _dispatch(
             "malformed_lines": (
                 server.malformed_count if server is not None else 0
             ),
+            "slow_requests": _slow_request_total(),
+            "latency_quantiles": _latency_quantiles(),
         }
     if op == "metrics":
         return {
@@ -143,12 +206,19 @@ def _dispatch(
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
-    """ThreadingTCPServer that counts malformed request lines."""
+    """ThreadingTCPServer with request ids and a malformed-line count."""
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.malformed_count = 0
         self._malformed_lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self.slow_query_seconds: Optional[float] = None
+
+    def next_request_id(self) -> int:
+        """A server-unique id for one incoming request line."""
+        # itertools.count.__next__ is atomic under the GIL.
+        return next(self._request_ids)
 
     def count_malformed(self) -> None:
         """Record one undecodable request line (thread-safe)."""
@@ -165,6 +235,9 @@ class DistanceServer:
         host: bind address (default loopback).
         port: bind port; 0 picks a free one (read :attr:`port` after
             :meth:`start`).
+        slow_query_seconds: requests taking at least this long are
+            logged, counted and (when tracing is on) recorded as
+            ``slow_query`` trace events; ``None`` disables the check.
 
     Use as a context manager::
 
@@ -174,13 +247,20 @@ class DistanceServer:
     """
 
     def __init__(
-        self, oracle: DistanceOracle, host: str = "127.0.0.1", port: int = 0
+        self,
+        oracle: DistanceOracle,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slow_query_seconds: Optional[float] = 0.5,
     ) -> None:
+        if slow_query_seconds is not None and slow_query_seconds < 0:
+            raise ReproError("slow_query_seconds must be non-negative")
         self._tcp = _TCPServer(
             (host, port), _Handler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
         self._tcp.oracle = oracle  # type: ignore[attr-defined]
+        self._tcp.slow_query_seconds = slow_query_seconds
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -223,6 +223,7 @@ class IntraNodeSimulator:
             elif kind == self._EV_LOCKREQ:
                 w, root, triples, start = payload
                 commit_start = max(t, self.lock_free_at)
+                lock_wait = commit_start - t
                 commit_end = commit_start + cost.seconds(
                     cost.commit_units(len(triples))
                 )
@@ -234,11 +235,11 @@ class IntraNodeSimulator:
                         commit_end,
                         self._EV_COMMIT,
                         seq,
-                        (w, root, triples, start),
+                        (w, root, triples, start, lock_wait),
                     ),
                 )
             else:  # _EV_COMMIT
-                w, root, triples, start = payload
+                w, root, triples, start, lock_wait = payload
                 if self.visibility != "immediate":
                     store.add_delta(triples)
                 self._pending_deltas.extend(triples)
@@ -257,6 +258,7 @@ class IntraNodeSimulator:
                         labels=len(triples),
                         start=start,
                         finish=t,
+                        lock_wait=lock_wait,
                         clock="sim",
                     )
                 seq += 1

@@ -240,3 +240,58 @@ class TestRunner:
         )
         assert code == 0
         assert "Figure 6" in capsys.readouterr().out
+
+
+class TestEnvironmentStamping:
+    def test_out_dir_results_stamped(self, tmp_path):
+        import json
+
+        code = runner_main(
+            [
+                "--experiment",
+                "datasets",
+                "--scale",
+                "0.15",
+                "--datasets",
+                "Gnutella",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        metrics_doc = json.loads(
+            (tmp_path / "datasets.metrics.json").read_text()
+        )
+        assert metrics_doc["schema"] == "parapll-metrics/2"
+        assert metrics_doc["experiment"] == "datasets"
+        assert metrics_doc["elapsed_seconds"] > 0
+        env = metrics_doc["environment"]
+        for key in (
+            "python",
+            "platform",
+            "machine",
+            "cpu_count",
+            "git_sha",
+            "timestamp_utc",
+        ):
+            assert key in env
+        # The per-directory stamp matches the embedded one (bar time).
+        env_file = json.loads((tmp_path / "environment.json").read_text())
+        assert env_file["python"] == env["python"]
+        assert env_file["platform"] == env["platform"]
+
+    def test_snapshot_document_shape(self):
+        from repro.bench.harness import snapshot_document
+
+        doc = snapshot_document("unit", elapsed_seconds=1.5)
+        assert doc["schema"] == "parapll-metrics/2"
+        assert doc["experiment"] == "unit"
+        assert doc["elapsed_seconds"] == 1.5
+        assert isinstance(doc["metrics"], list)
+        assert "environment" in doc
+
+    def test_snapshot_document_elapsed_optional(self):
+        from repro.bench.harness import snapshot_document
+
+        doc = snapshot_document("unit")
+        assert "elapsed_seconds" not in doc

@@ -202,3 +202,127 @@ class TestObs:
         out = capsys.readouterr().out
         assert "built Gnutella" in out
         assert "prune rate" in out
+
+
+class TestPerf:
+    def _run(self, tmp_path, tag="a", repeats="1"):
+        out = tmp_path / f"BENCH_{tag}.json"
+        code = main(
+            [
+                "perf", "run",
+                "--tag", tag,
+                "--repeats", repeats,
+                "--scale", "0.25",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_run_writes_schema_versioned_bench(self, tmp_path, capsys):
+        import json
+
+        out = self._run(tmp_path)
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "parapll-bench/1"
+        assert "environment" in doc and "workloads" in doc
+        stdout = capsys.readouterr().out
+        assert "serial_build" in stdout
+
+    def test_compare_self_passes(self, tmp_path, capsys):
+        out = self._run(tmp_path)
+        code = main(["perf", "compare", str(out), str(out)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_regression_nonzero_exit(self, tmp_path, capsys):
+        import json
+
+        out = self._run(tmp_path)
+        doc = json.loads(out.read_text())
+        doc["workloads"]["serial_build"]["metrics"]["labels"]["median"] *= 2
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(doc))
+        code = main(["perf", "compare", str(out), str(bad)])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_update_baseline_and_report(self, tmp_path, capsys):
+        baseline = tmp_path / "bench" / "baseline.json"
+        code = main(
+            [
+                "perf", "update-baseline",
+                "--repeats", "1",
+                "--scale", "0.25",
+                "--baseline", str(baseline),
+            ]
+        )
+        assert code == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["perf", "report", str(baseline)]) == 0
+        assert "benchmark baseline" in capsys.readouterr().out
+
+    def test_compare_missing_file_errors(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        code = main(["perf", "compare", missing, missing])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTimeline:
+    def test_sim_timeline_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "timeline",
+                "--dataset", "Gnutella",
+                "--scale", "0.25",
+                "--sim",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+        stdout = capsys.readouterr().out
+        assert "critical path" in stdout
+        assert "worker 0" in stdout
+
+    def test_threaded_timeline(self, graph_file, capsys):
+        code = main(["timeline", "--graph", graph_file, "--threads", "2"])
+        assert code == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_from_jsonl_round_trip(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "obs",
+                "--dataset", "Gnutella",
+                "--scale", "0.25",
+                "--threads", "2",
+                "--jsonl", str(jsonl),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        out = tmp_path / "converted.json"
+        code = main(
+            ["timeline", "--from-jsonl", str(jsonl), "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "critical path" in capsys.readouterr().out
+
+    def test_tracing_restored_after_timeline(self):
+        from repro.obs import config as obs_config
+
+        main(["timeline", "--dataset", "Gnutella", "--scale", "0.1", "--sim"])
+        assert obs_config.TRACING is False

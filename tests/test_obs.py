@@ -510,3 +510,69 @@ class TestConfigure:
     def test_capacity_follows_config(self):
         obs.configure(trace_capacity=16)
         assert obs.get_tracer().capacity == 16
+
+
+# ----------------------------------------------------------------------
+# Streaming quantiles
+# ----------------------------------------------------------------------
+class TestQuantiles:
+    def test_interpolated_median(self):
+        from repro.obs.metrics import histogram_quantile
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            h.observe(value)
+        snap = h.value()
+        # rank 2 of 4 falls at the boundary of the (1, 2] bucket.
+        assert histogram_quantile(snap, 0.5) == pytest.approx(2.0)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+
+    def test_uniform_within_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", buckets=(10.0,))
+        for _ in range(4):
+            h.observe(5.0)
+        # All mass in (0, 10]: p50 interpolates to the bucket midpoint.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_overflow_clamps_to_top_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(1.0)
+
+    def test_empty_histogram_nan(self):
+        import math
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_invalid_quantile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", buckets=(1.0,))
+        with pytest.raises(ObsError):
+            h.quantile(1.5)
+
+    def test_quantiles_batch(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        out = h.quantiles((0.5, 0.99))
+        assert set(out) == {0.5, 0.99}
+
+    def test_labeled_series_quantile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help", labels=("op",), buckets=(1.0, 2.0))
+        h.labels(op="a").observe(0.5)
+        h.labels(op="b").observe(1.5)
+        assert h.labels(op="a").quantile(0.5) <= 1.0
+        assert h.labels(op="b").quantile(0.5) > 1.0
+
+    def test_render_summary_shows_service_quantiles(self):
+        record_request("distance", 0.002, True)
+        record_request("distance", 0.004, True)
+        text = obs.render_summary()
+        assert "latency distance" in text
+        assert "p50" in text and "p95" in text and "p99" in text

@@ -255,3 +255,106 @@ class TestServer:
         ]
         assert dist_lat and dist_lat[0]["value"]["count"] >= 1
         assert "malformed_lines" in snapshot
+
+
+class TestRequestIdsAndSlowLog:
+    @pytest.fixture()
+    def slow_server(self, index):
+        """Server whose slow-query threshold trips on every request."""
+        from repro import obs
+
+        obs.reset()
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, slow_query_seconds=0.0) as srv:
+            yield srv
+        obs.reset()
+
+    def test_req_id_on_every_response(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                first = client._call({"op": "ping"})
+                second = client._call({"op": "distance", "s": 0, "t": 1})
+                assert first["req_id"] == 1
+                assert second["req_id"] == 2
+
+    def test_client_id_echoed_alongside_req_id(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                reply = client._call(
+                    {"op": "distance", "s": 0, "t": 1, "id": "abc-123"}
+                )
+                assert reply["id"] == "abc-123"
+                assert isinstance(reply["req_id"], int)
+
+    def test_error_responses_carry_req_id(self, index):
+        import json
+        import socket
+
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as sock:
+                f = sock.makefile("rwb")
+                f.write(b'{"op": "nope"}\n')
+                f.flush()
+                reply = json.loads(f.readline())
+        assert reply["ok"] is False
+        assert "req_id" in reply
+
+    def test_slow_queries_counted_in_stats(self, slow_server):
+        with DistanceClient("127.0.0.1", slow_server.port) as client:
+            client.distance(0, 1)
+            client.distance(1, 2)
+            stats = client.stats()
+            assert stats["slow_requests"] >= 2
+
+    def test_slow_query_traced(self, index):
+        from repro import obs
+
+        obs.reset()
+        obs.configure(tracing=True)
+        try:
+            oracle = DistanceOracle(index)
+            with DistanceServer(oracle, slow_query_seconds=0.0) as server:
+                with DistanceClient("127.0.0.1", server.port) as client:
+                    client.distance(0, 1)
+            names = [r.name for r in obs.get_tracer().records()]
+            assert "slow_query" in names
+        finally:
+            obs.configure(tracing=False)
+            obs.reset()
+
+    def test_threshold_disabled_counts_nothing(self, index):
+        from repro import obs
+
+        obs.reset()
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, slow_query_seconds=None) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                client.distance(0, 1)
+                stats = client.stats()
+                assert stats["slow_requests"] == 0
+
+    def test_negative_threshold_rejected(self, index):
+        oracle = DistanceOracle(index)
+        with pytest.raises(ReproError):
+            DistanceServer(oracle, slow_query_seconds=-1.0)
+
+    def test_stats_latency_quantiles(self, index):
+        from repro import obs
+
+        obs.reset()
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                for t in range(1, 5):
+                    client.distance(0, t)
+                stats = client.stats()
+        quantiles = stats["latency_quantiles"]
+        assert "distance" in quantiles
+        entry = quantiles["distance"]
+        assert set(entry) == {"p50", "p95", "p99"}
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
