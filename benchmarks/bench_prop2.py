@@ -8,7 +8,7 @@ simulated runs: both must start at zero for p = 1 and grow with p.
 
 import pytest
 
-from repro.analysis import efficiency_loss_study
+from repro.efficiency import efficiency_loss_study
 from repro.generators.paper import load_dataset
 
 from conftest import bench_scale

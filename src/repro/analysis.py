@@ -1,151 +1,32 @@
-"""Analysis of the paper's Proposition 2: pruning-efficiency loss.
+"""Deprecated alias for :mod:`repro.efficiency`.
 
-Proposition 2 bounds the pruning-efficiency loss of the static policy
-with *p* threads by the worst-case window reorderings::
-
-    sum over windows of  ψ(v_i) - ψ(v_{i+p})
-
-where ψ(v) is the number of shortest paths through v (the pruning
-potential of indexing v early) and v_1 >= v_2 >= ... is the optimal
-ψ-descending sequence.  Intuitively: within a window of p concurrently
-dispatched roots, the execution order can invert, and the loss from an
-inversion is the ψ gap across the window.
-
-This module computes that bound with exact ψ values (Brandes'
-betweenness, :mod:`repro.graph.centrality`) and the *measured*
-redundancy of an actual parallel run (extra label entries vs. the
-serial build), letting benchmarks confirm the paper's two predictions:
-the bound shrinks as windows get smaller (fewer threads) and grows
-with p, and the measured redundancy stays correlated with it.
+The module was renamed: "analysis" said nothing about *what* it
+analyses, and the codebase now has several analysis-flavoured packages
+(``repro.obs``, ``repro.check``).  Everything lives in
+:mod:`repro.efficiency`; this shim re-exports it and warns once so
+downstream imports keep working for one release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+import warnings
 
-import numpy as np
-
-from repro.core.serial import build_serial
-from repro.errors import SimulationError
-from repro.graph.centrality import psi_values
-from repro.graph.csr import CSRGraph
-from repro.sim.executor import simulate_intra_node
+from repro.efficiency import (  # noqa: F401 - re-exported surface
+    EfficiencyLossReport,
+    efficiency_loss_study,
+    measured_redundancy,
+    proposition2_bound,
+)
 
 __all__ = [
-    "proposition2_bound",
-    "measured_redundancy",
     "EfficiencyLossReport",
     "efficiency_loss_study",
+    "measured_redundancy",
+    "proposition2_bound",
 ]
 
-
-def proposition2_bound(
-    graph: CSRGraph,
-    order: Sequence[int],
-    num_workers: int,
-    psi: Optional[np.ndarray] = None,
-) -> float:
-    """The Proposition-2 efficiency-loss bound, normalised to [0, 1].
-
-    Args:
-        graph: the graph.
-        order: the computing sequence (most important first).
-        num_workers: the window width ``p``.
-        psi: precomputed ψ values (otherwise computed exactly, O(nm)).
-
-    Returns:
-        ``sum_i (ψ(order[i]) - min ψ over order[i..i+p]) / sum ψ`` — the
-        worst case within each dispatch window is that the window's
-        least-potential root runs first, so each position risks its gap
-        to the window minimum.  Zero for ``p = 1`` (serial) and
-        non-decreasing in *p* (larger windows have smaller minima).
-
-    Raises:
-        SimulationError: for ``num_workers < 1``.
-    """
-    if num_workers < 1:
-        raise SimulationError("num_workers must be >= 1")
-    if psi is None:
-        psi = psi_values(graph)
-    order = np.asarray(order, dtype=np.int64)
-    n = len(order)
-    if n == 0 or num_workers == 1:
-        return 0.0
-    seq = psi[order]
-    total = float(seq.sum())
-    if total <= 0:
-        return 0.0
-    # Leading-window minimum over seq[j .. j + p], vectorised by
-    # stacking the p + 1 shifted views (p <= threads, so this is cheap).
-    window = num_workers + 1
-    mins = seq.copy()
-    for shift in range(1, window):
-        shifted = np.empty(n, dtype=np.float64)
-        shifted[: n - shift] = seq[shift:]
-        shifted[n - shift :] = np.inf  # window truncates at the end
-        np.minimum(mins, shifted, out=mins)
-    loss = float(np.clip(seq - mins, 0.0, None).sum())
-    return loss / total
-
-
-def measured_redundancy(
-    graph: CSRGraph,
-    num_workers: int,
-    order: Optional[Sequence[int]] = None,
-    seed: int = 0,
-    jitter: float = 0.2,
-) -> float:
-    """Measured label redundancy of one simulated parallel run.
-
-    Returns:
-        ``(parallel entries - serial entries) / serial entries`` — the
-        relative index growth caused by out-of-order execution.
-    """
-    serial_store, _ = build_serial(graph, order=order)
-    index, _run = simulate_intra_node(
-        graph, num_workers, order=order, jitter=jitter, seed=seed
-    )
-    serial_entries = serial_store.total_entries
-    if serial_entries == 0:
-        return 0.0
-    return (index.store.total_entries - serial_entries) / serial_entries
-
-
-@dataclass
-class EfficiencyLossReport:
-    """Bound vs. measurement across thread counts.
-
-    Attributes:
-        workers: the thread counts studied.
-        bounds: Proposition-2 bounds per thread count.
-        redundancy: measured relative label growth per thread count.
-    """
-
-    workers: list
-    bounds: list
-    redundancy: list
-
-
-def efficiency_loss_study(
-    graph: CSRGraph,
-    workers: Sequence[int] = (1, 2, 4, 8),
-    order: Optional[Sequence[int]] = None,
-    seed: int = 0,
-) -> EfficiencyLossReport:
-    """Compute bound and measurement for several thread counts."""
-    from repro.graph.order import by_degree
-
-    if order is None:
-        order = by_degree(graph)
-    psi = psi_values(graph)
-    bounds = [
-        proposition2_bound(graph, order, p, psi=psi) for p in workers
-    ]
-    redundancy = [
-        measured_redundancy(graph, p, order=order, seed=seed)
-        for p in workers
-    ]
-    return EfficiencyLossReport(
-        workers=list(workers), bounds=bounds, redundancy=redundancy
-    )
+warnings.warn(
+    "repro.analysis is deprecated; import repro.efficiency instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -17,6 +17,7 @@ from repro.baselines.dijkstra import dijkstra_sssp
 from repro.cluster.network import NetworkModel
 from repro.cluster.parapll import simulate_cluster
 from repro.core.labels import LabelStore
+from repro.core.paths import isclose_distance
 from repro.core.serial import build_serial
 from repro.core.stats import label_cdf
 from repro.errors import BenchmarkError
@@ -195,7 +196,7 @@ def _spot_check(config: BenchConfig, name: str, index) -> None:
         truth = dijkstra_sssp(graph, s)
         for t in range(n):
             got = index.distance(s, t)
-            if got != truth[t]:
+            if not isclose_distance(got, truth[t]):
                 raise BenchmarkError(
                     f"{name}: index distance({s},{t})={got} != {truth[t]}"
                 )

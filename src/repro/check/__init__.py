@@ -1,0 +1,70 @@
+"""``repro.check``: correctness tooling for the ParaPLL codebase.
+
+Three coordinated layers, all reachable through ``parapll check``:
+
+* :mod:`repro.check.lint` — an AST-based static analyzer with
+  project-specific rules: determinism in simulated paths, lock
+  discipline around shared stores, float-distance comparison hygiene,
+  worker exception hygiene, and import layering.
+* :mod:`repro.check.sanitizer` — an opt-in Eraser-style lockset race
+  sanitizer that wraps the shared-memory build's hot objects
+  (``LabelStore``, ``DynamicAssignment``, ``ThreadComm``) and reports
+  any shared write whose candidate lockset becomes empty.
+* :mod:`repro.check.invariants` — a label-invariant verifier for built
+  :class:`~repro.core.index.PLLIndex` objects (sorted hubs, finite
+  non-negative distances, minimality, sampled 2-hop exactness against
+  Dijkstra).
+
+The package sits *above* every runtime layer: ``repro.check`` may
+import anything, but runtime modules may only import the dependency-free
+:mod:`repro.check.hooks` facade (enforced by the linter's own layering
+rule, PC005).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Lazy exports (PEP 562): runtime modules import the dependency-free
+#: ``repro.check.hooks`` facade, and that import must not drag the
+#: lint engine, the sanitizer, or the verifier (and their transitive
+#: numpy/baselines dependencies) into every build.
+_EXPORTS = {
+    "InvariantReport": "repro.check.invariants",
+    "verify_index": "repro.check.invariants",
+    "LintReport": "repro.check.lint",
+    "Violation": "repro.check.lint",
+    "all_rules": "repro.check.lint",
+    "lint_paths": "repro.check.lint",
+    "load_suppressions": "repro.check.lint",
+    "LocksetSanitizer": "repro.check.sanitizer",
+    "RaceReport": "repro.check.sanitizer",
+    "get_sanitizer": "repro.check.sanitizer",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.check' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "InvariantReport",
+    "verify_index",
+    "LintReport",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "load_suppressions",
+    "LocksetSanitizer",
+    "RaceReport",
+    "get_sanitizer",
+]

@@ -1,0 +1,80 @@
+"""No-op hook points the runtime calls into the race sanitizer through.
+
+This module is the *only* part of :mod:`repro.check` that runtime code
+(``repro.parallel``, ``repro.cluster``) may import — a rule the linter
+itself enforces (PC005).  It therefore imports nothing from the rest of
+the package: when the sanitizer is inactive every hook is a single
+global read plus a ``None`` check, cheap enough to leave in hot-ish
+paths (locks are created once, accesses are recorded per task, never
+per label probe).
+
+The active sanitizer registers itself via :func:`set_active`; see
+:mod:`repro.check.sanitizer` for the actual lockset machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+__all__ = [
+    "set_active",
+    "get_active",
+    "is_active",
+    "make_lock",
+    "access",
+    "wrap_store",
+    "unwrap_store",
+]
+
+#: The active sanitizer object, or ``None``.  Typed loosely on purpose:
+#: this module must not import :mod:`repro.check.sanitizer`.
+_active: Optional[Any] = None
+
+
+def set_active(sanitizer: Optional[Any]) -> None:
+    """Install (or, with ``None``, remove) the active sanitizer."""
+    global _active
+    _active = sanitizer
+
+
+def get_active() -> Optional[Any]:
+    """The active sanitizer, or ``None``."""
+    return _active
+
+
+def is_active() -> bool:
+    """True when a sanitizer is currently installed."""
+    return _active is not None
+
+
+def make_lock(name: str) -> Any:
+    """A lock for *name*: plain ``threading.Lock`` normally, a tracked
+    lock (recorded in the per-thread lockset) under the sanitizer."""
+    s = _active
+    if s is None:
+        return threading.Lock()
+    return s.make_lock(name)
+
+
+def access(location: str, write: bool = True) -> None:
+    """Record one shared-state access at *location* (no-op normally)."""
+    s = _active
+    if s is not None:
+        s.record_access(location, write=write)
+
+
+def wrap_store(store: Any) -> Any:
+    """Wrap a :class:`~repro.core.labels.LabelStore` for access
+    tracking; the identity function when the sanitizer is inactive."""
+    s = _active
+    if s is None:
+        return store
+    return s.wrap_store(store)
+
+
+def unwrap_store(store: Any) -> Any:
+    """Undo :func:`wrap_store` (after the concurrent phase ends, e.g.
+    before the single-threaded ``finalize()``)."""
+    inner = getattr(store, "_san_inner", None)
+    return store if inner is None else inner

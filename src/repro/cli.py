@@ -12,6 +12,9 @@ Subcommands::
     parapll perf     run --tag dev                         # benchmark suite
     parapll perf     compare benchmarks/baseline.json BENCH_dev.json
     parapll timeline --dataset Gnutella --sim --out t.json # Perfetto trace
+    parapll check    lint [PATHS...]                       # project linter
+    parapll check    races --threads 4                     # lockset sanitizer
+    parapll check    index --index g.index.npz --graph g.npz
 
 Graphs are accepted as ``.npz`` (our binary cache), ``.gr`` (DIMACS) or
 anything else (treated as a SNAP edge list).
@@ -263,6 +266,93 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.check.lint import (
+        all_rules,
+        format_github,
+        format_json,
+        format_text,
+        lint_paths,
+        load_suppressions,
+    )
+    from repro.errors import CheckError
+
+    suppressions = None
+    if not args.no_suppressions and os.path.exists(args.suppressions):
+        suppressions = load_suppressions(args.suppressions)
+    rules = None
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        rules = [r for r in all_rules() if r.id in wanted]
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise CheckError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    report = lint_paths(
+        args.paths,
+        suppressions=suppressions,
+        rules=rules,
+        cache_path=args.cache,
+    )
+    formatter = {
+        "text": format_text, "json": format_json, "github": format_github
+    }[args.format]
+    print(formatter(report))
+    for stale in report.unused_suppressions:
+        print(
+            f"warning: suppression {stale.rule} for {stale.path} "
+            "matched nothing (delete it?)",
+            file=sys.stderr,
+        )
+    return report.exit_code
+
+
+def _cmd_check_races(args: argparse.Namespace) -> int:
+    from repro.check.sanitizer import stress_threads
+
+    result = stress_threads(
+        num_threads=args.threads,
+        repeats=args.repeats,
+        n=args.vertices,
+        m=args.edges,
+        seed=args.seed,
+    )
+    print(result.sanitizer.render())
+    print(
+        f"stressed {result.builds} sanitized build(s) on "
+        f"{result.vertices} vertices with {args.threads} thread(s)"
+    )
+    return 0 if result.sanitizer.ok else 1
+
+
+def _cmd_check_index(args: argparse.Namespace) -> int:
+    from repro.check.invariants import verify_index
+    from repro.errors import CheckError
+
+    graph = _load_graph(args.graph) if args.graph else None
+    if args.index:
+        index = PLLIndex.load(args.index, graph=graph)
+    elif graph is not None:
+        if args.threads > 1:
+            index = build_parallel_threads(
+                graph, args.threads, policy=args.policy
+            )
+        else:
+            index = PLLIndex.build(graph)
+    else:
+        raise CheckError("check index needs --index and/or --graph")
+    report = verify_index(
+        index,
+        graph=graph,
+        samples=args.samples,
+        seed=args.seed,
+        strict_minimality=args.strict,
+    )
+    print(report.render())
+    return report.exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Reached only via "parapll bench" with no extra arguments (the
     # passthrough in main() handles the argument-forwarding case).
@@ -432,6 +522,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, help="slowest tasks to list"
     )
     t.set_defaults(func=_cmd_timeline)
+
+    c = sub.add_parser(
+        "check", help="correctness tooling: lint / races / index"
+    )
+    csub = c.add_subparsers(dest="check_command", required=True)
+
+    cl = csub.add_parser(
+        "lint", help="run the project lint rules (PC001..PC005)"
+    )
+    cl.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    cl.add_argument(
+        "--format", choices=("text", "json", "github"), default="text"
+    )
+    cl.add_argument(
+        "--suppressions", default=".parapll-lint.json", metavar="FILE",
+        help="checked-in accepted exceptions (ignored when absent)",
+    )
+    cl.add_argument(
+        "--no-suppressions", action="store_true",
+        help="report everything, including accepted exceptions",
+    )
+    cl.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="per-file result cache keyed on content hashes (for CI)",
+    )
+    cl.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    cl.set_defaults(func=_cmd_check_lint)
+
+    cr = csub.add_parser(
+        "races",
+        help="stress the threaded builder under the lockset sanitizer",
+    )
+    cr.add_argument("--threads", type=int, default=4)
+    cr.add_argument("--repeats", type=int, default=3)
+    cr.add_argument("--vertices", type=int, default=120)
+    cr.add_argument("--edges", type=int, default=400)
+    cr.add_argument("--seed", type=int, default=7)
+    cr.set_defaults(func=_cmd_check_races)
+
+    ci = csub.add_parser(
+        "index", help="verify the label invariants of a built index"
+    )
+    ci.add_argument("--index", default=None, help="saved index (.npz)")
+    ci.add_argument(
+        "--graph", default=None,
+        help="graph file; enables the sampled Dijkstra exactness check "
+        "(builds the index fresh when no --index is given)",
+    )
+    ci.add_argument("--threads", type=int, default=1)
+    ci.add_argument(
+        "--policy", choices=("static", "dynamic"), default="dynamic"
+    )
+    ci.add_argument("--samples", type=int, default=64)
+    ci.add_argument("--seed", type=int, default=0)
+    ci.add_argument(
+        "--strict", action="store_true",
+        help="fail on redundant (dominated) labels — serial builds only",
+    )
+    ci.set_defaults(func=_cmd_check_index)
 
     return parser
 

@@ -18,6 +18,7 @@ import queue
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.check import hooks as _check_hooks
 from repro.errors import CommError
 
 __all__ = ["ThreadComm", "run_ranks"]
@@ -42,12 +43,17 @@ class ThreadComm:
         self.size = size
         self.timeout = timeout
         self._boxes: Dict[Tuple[int, int, int], "queue.Queue[Any]"] = {}
-        self._boxes_lock = threading.Lock()
+        self._boxes_lock = _check_hooks.make_lock("ThreadComm._boxes_lock")
         self._barrier = threading.Barrier(size)
         # Allgather state: a slot list plus a barrier-protected epoch.
-        self._gather_lock = threading.Lock()
+        self._gather_lock = _check_hooks.make_lock("ThreadComm._gather_lock")
         self._gather_slots: List[Any] = [None] * size
         self._gather_filled: List[bool] = [False] * size
+        # Race-sanitizer locations (no-ops unless repro.check is active).
+        # Slot *reads* in allgather are barrier-ordered, not lock-
+        # protected, so only the lock-guarded mutations are tracked.
+        self._san_boxes = f"ThreadComm#{id(self)}._boxes"
+        self._san_gather = f"ThreadComm#{id(self)}._gather_slots"
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
@@ -56,6 +62,7 @@ class ThreadComm:
     def _box(self, source: int, dest: int, tag: int) -> "queue.Queue[Any]":
         key = (source, dest, tag)
         with self._boxes_lock:
+            _check_hooks.access(self._san_boxes, write=True)
             box = self._boxes.get(key)
             if box is None:
                 box = queue.Queue()
@@ -101,6 +108,7 @@ class ThreadComm:
         """
         self._check_rank(rank)
         with self._gather_lock:
+            _check_hooks.access(self._san_gather, write=True)
             if self._gather_filled[rank]:
                 raise CommError(
                     f"rank {rank} joined the same allgather twice"
@@ -114,6 +122,7 @@ class ThreadComm:
         # final barrier keeps slot reuse race-free.
         if rank == 0:
             with self._gather_lock:
+                _check_hooks.access(self._san_gather, write=True)
                 self._gather_slots = [None] * self.size
                 self._gather_filled = [False] * self.size
         self.barrier(rank)

@@ -186,15 +186,14 @@ class PLLIndex:
         if self.graph is None:
             raise GraphError("index has no attached graph to verify against")
         from repro.baselines.dijkstra import dijkstra_sssp
+        from repro.core.paths import isclose_distance
 
         for s in sources:
             truth = dijkstra_sssp(self.graph, int(s))
             for t in range(self.graph.num_vertices):
                 got = self.distance(int(s), t)
                 want = truth[t]
-                if got == want:
-                    continue
-                assert abs(got - want) <= atol, (
+                assert isclose_distance(got, want, atol=atol), (
                     f"distance({s}, {t}) = {got}, Dijkstra says {want}"
                 )
 

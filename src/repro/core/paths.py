@@ -21,10 +21,26 @@ from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
 from repro.types import INF
 
-__all__ = ["reconstruct_shortest_path"]
+__all__ = ["isclose_distance", "reconstruct_shortest_path"]
 
 #: Absolute tolerance for float-sum comparisons along a path.
 _ATOL = 1e-9
+
+
+def isclose_distance(a: float, b: float, atol: float = _ATOL) -> bool:
+    """The sanctioned equality test for shortest-path distances.
+
+    Two distances that describe the same path may differ by rounding
+    when the edge weights were summed in different orders, so raw
+    ``==`` on distances is a bug magnet (and is rejected project-wide
+    by lint rule PC003).  This helper compares with a tiny *absolute*
+    tolerance and treats two ``INF`` sentinels (both unreachable) as
+    equal; a relative tolerance is deliberately not used because path
+    lengths near zero would then collapse.
+    """
+    if a == INF or b == INF:  # lint-ok: PC003 — the sanctioned module
+        return a == b  # lint-ok: PC003
+    return math.isclose(a, b, rel_tol=0.0, abs_tol=atol)
 
 
 def reconstruct_shortest_path(

@@ -197,13 +197,14 @@ class DirectedPLLIndex:
 
     def verify_against_dijkstra(self, sources: Sequence[int]) -> None:
         """Assert exactness from the given sources (tests/tools)."""
+        from repro.core.paths import isclose_distance
         from repro.digraph.dijkstra import dijkstra_forward
 
         for s in sources:
             truth = dijkstra_forward(self.graph, int(s))
             for t in range(self.graph.num_vertices):
                 got = self.distance(int(s), t)
-                assert got == truth[t], (s, t, got, truth[t])
+                assert isclose_distance(got, truth[t]), (s, t, got, truth[t])
 
     def avg_label_size(self) -> float:
         """Mean (out + in) entries per vertex."""

@@ -51,3 +51,9 @@ class TaskError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for unknown experiments or bad params."""
+
+
+class CheckError(ReproError):
+    """Raised by the correctness tooling (:mod:`repro.check`) for invalid
+    configuration: unknown rules, malformed suppression files, or an
+    index that fails invariant verification in strict mode."""

@@ -61,7 +61,10 @@ def betweenness_centrality(graph: CSRGraph) -> np.ndarray:
                     sigma[v] = sigma[u]
                     preds[v] = [u]
                     heapq.heappush(pq, (nd, v))
-                elif nd == dist[v] and not seen[v]:
+                # Exact equality is intentional: both sides were
+                # produced by the same summation in this very run, and
+                # Brandes' sigma counting needs ties, not tolerance.
+                elif nd == dist[v] and not seen[v]:  # lint-ok: PC003
                     sigma[v] += sigma[u]
                     preds[v].append(u)
         # Dependency accumulation, farthest settled first.

@@ -13,7 +13,6 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.baselines.dijkstra import dijkstra_sssp
 from repro.graph.csr import CSRGraph
 from repro.types import INF
 
@@ -36,6 +35,10 @@ def estimate_diameter(
     Returns:
         The largest finite distance observed (0.0 for empty graphs).
     """
+    # Lazy: repro.graph sits below repro.baselines in the layer
+    # stack (PC005); the heuristic is the one place it reaches up.
+    from repro.baselines.dijkstra import dijkstra_sssp
+
     n = graph.num_vertices
     if n == 0:
         return 0.0

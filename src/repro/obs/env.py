@@ -54,7 +54,7 @@ def environment_metadata() -> Dict[str, object]:
         import numpy
 
         numpy_version: Optional[str] = numpy.__version__
-    except Exception:  # pragma: no cover - numpy is a hard dep today
+    except Exception:  # lint-ok: PC004 — env probing must never raise
         numpy_version = None
     return {
         "python": platform.python_version(),

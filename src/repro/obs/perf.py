@@ -322,6 +322,40 @@ def _wl_server_roundtrip(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_index_invariants(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """``parapll check index`` smoke: every BENCH file records whether a
+    threaded build of the suite graph passes the label-invariant
+    verifier, plus the violation/redundancy counts — so a concurrency
+    regression that corrupts labels (rather than slowing them down)
+    still fails the perf gate."""
+    from repro.check.invariants import verify_index
+    from repro.parallel.threads import build_parallel_threads
+
+    index = build_parallel_threads(ctx.graph, 4, policy="dynamic")
+    t0 = time.perf_counter()
+    report = verify_index(index, samples=32, seed=ctx.seed)
+    wall = time.perf_counter() - t0
+    return {
+        "verify_seconds": _metric(wall, "time", "s"),
+        "invariants_ok": _metric(
+            1.0 if report.ok else 0.0, "counter", "bool"
+        ),
+        "invariant_violations": _metric(
+            float(len(report.violations)), "counter", "violations"
+        ),
+        # Redundant labels are legal but worth watching: a sustained
+        # order-of-magnitude jump means pruning got much less
+        # effective.  Commit interleaving makes the count swing ~2.5x
+        # run to run, hence the very loose tolerance.
+        "redundant_labels": _metric(
+            float(report.redundant_labels), "counter", "entries", tol=3.0
+        ),
+        "sampled_pairs": _metric(
+            float(report.sampled_pairs), "counter", "pairs"
+        ),
+    }
+
+
 def default_workloads() -> List[Workload]:
     """The standard PerfSuite (one Workload per execution mode)."""
     return [
@@ -332,6 +366,7 @@ def default_workloads() -> List[Workload]:
         Workload("cluster_build_q2c1", _wl_cluster_build),
         Workload("query_batch", _wl_query_batch),
         Workload("server_roundtrip", _wl_server_roundtrip),
+        Workload("index_invariants", _wl_index_invariants),
     ]
 
 

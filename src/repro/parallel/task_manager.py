@@ -17,9 +17,9 @@ differs between configurations.
 
 from __future__ import annotations
 
-import threading
 from typing import List, Optional, Protocol, Sequence
 
+from repro.check import hooks as _check_hooks
 from repro.errors import TaskError
 from repro.obs import config as _obs_config
 from repro.obs.instruments import TASKS_DISPATCHED
@@ -63,13 +63,20 @@ class StaticAssignment:
         # worker only touches its own cursor, but we keep one for the
         # remaining() aggregate used by monitors.
         self._cursors = [0] * num_workers
-        self._lock = threading.Lock()
+        self._lock = _check_hooks.make_lock("StaticAssignment._lock")
+        # Per-worker sanitizer locations: each cursor is thread-confined
+        # by construction, which the lockset analysis verifies.
+        self._san_locs = [
+            f"StaticAssignment#{id(self)}._cursors[{k}]"
+            for k in range(num_workers)
+        ]
         self._dispatched = TASKS_DISPATCHED.labels(policy="static")
 
     def next_task(self, worker: int) -> Optional[int]:
         """Next pre-assigned root for *worker* (``None`` when exhausted)."""
         if not 0 <= worker < self.num_workers:
             raise TaskError(f"worker {worker} out of range")
+        _check_hooks.access(self._san_locs[worker], write=True)
         cursor = self._cursors[worker]
         queue = self._queues[worker]
         if cursor >= len(queue):
@@ -119,7 +126,8 @@ class DynamicAssignment:
         self.chunk = chunk
         self._order = [int(v) for v in order]
         self._next = 0
-        self._lock = threading.Lock()
+        self._lock = _check_hooks.make_lock("DynamicAssignment._lock")
+        self._san_loc = f"DynamicAssignment#{id(self)}._next"
         self._buffers: dict[int, List[int]] = {}
         self._dispatched = TASKS_DISPATCHED.labels(policy="dynamic")
 
@@ -131,6 +139,7 @@ class DynamicAssignment:
                 self._dispatched.inc()
             return buffer.pop(0)
         with self._lock:
+            _check_hooks.access(self._san_loc, write=True)
             if self._next >= len(self._order):
                 return None
             lo = self._next
@@ -146,6 +155,7 @@ class DynamicAssignment:
     def remaining(self) -> int:
         """Tasks still in the shared queue (excluding worker buffers)."""
         with self._lock:
+            _check_hooks.access(self._san_loc, write=False)
             return len(self._order) - self._next
 
 

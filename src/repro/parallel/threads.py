@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.check import hooks as _check_hooks
 from repro.core.index import PLLIndex
 from repro.core.labels import LabelStore
 from repro.errors import TaskError
@@ -32,7 +34,22 @@ from repro.obs import trace as _trace
 from repro.parallel.task_manager import make_assignment
 from repro.types import IndexStats
 
-__all__ = ["build_parallel_threads"]
+__all__ = ["build_parallel_threads", "WorkerFailure"]
+
+
+@dataclass
+class WorkerFailure:
+    """One worker thread's failure: which worker, on which root, why.
+
+    The builder re-raises the first failure's original exception with a
+    :class:`~repro.errors.TaskError` naming worker and root attached as
+    its ``__cause__``, so callers keep their ``except <OriginalError>``
+    handling while tracebacks show exactly where the build died.
+    """
+
+    worker: int
+    root: Optional[int]
+    exc: BaseException
 
 
 def build_parallel_threads(
@@ -67,9 +84,12 @@ def build_parallel_threads(
     if order is None:
         order = by_degree(graph)
     assignment = make_assignment(policy, order, num_threads, chunk=chunk)
-    store = LabelStore(graph.num_vertices)
-    commit_lock = threading.Lock()
-    errors: List[BaseException] = []
+    # Under the race sanitizer (repro.check), the store is wrapped for
+    # commit tracking and the lock participates in lockset analysis;
+    # both calls are identity/plain-Lock when the sanitizer is off.
+    store = _check_hooks.wrap_store(LabelStore(graph.num_vertices))
+    commit_lock = _check_hooks.make_lock("parapll.commit_lock")
+    errors: List[WorkerFailure] = []
 
     def worker(worker_id: int) -> None:
         from repro.core.engines import make_engine
@@ -79,8 +99,10 @@ def build_parallel_threads(
         roots_done = _inst.WORKER_ROOTS.labels(worker=str(worker_id))
         queue_wait = _inst.WORKER_QUEUE_WAIT.labels(worker=str(worker_id))
         perf = time.perf_counter
+        root: Optional[int] = None
         try:
             while True:
+                root = None
                 t_ask = perf()
                 root = assignment.next_task(worker_id)
                 wait = perf() - t_ask
@@ -110,7 +132,7 @@ def build_parallel_threads(
                     _inst.COMMIT_LOCK_WAIT.inc(t_acq - t_req)
                     _inst.COMMIT_LOCK_HOLD.inc(t_rel - t_acq)
         except BaseException as exc:  # surfaced to the caller below
-            errors.append(exc)
+            errors.append(WorkerFailure(worker=worker_id, root=root, exc=exc))
 
     t0 = time.perf_counter()
     with _trace.span(
@@ -129,8 +151,20 @@ def build_parallel_threads(
             t.join()
     elapsed = time.perf_counter() - t0
     if errors:
-        raise errors[0]
+        failure = errors[0]
+        where = (
+            f"while indexing root {failure.root}"
+            if failure.root is not None
+            else "while pulling the next task"
+        )
+        raise failure.exc from TaskError(
+            f"worker {failure.worker} failed {where} "
+            f"({len(errors)} worker(s) failed in total)"
+        )
 
+    # The concurrent phase is over: drop the sanitizer wrapper (if any)
+    # before the single-threaded finalize, which needs no lock.
+    store = _check_hooks.unwrap_store(store)
     store.finalize()
     stats = IndexStats.from_sizes(store.label_sizes(), elapsed)
     return PLLIndex(store, order, graph=graph, stats=stats)

@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.dijkstra import dijkstra_sssp
 from repro.core.labels import LabelStore
+from repro.core.paths import isclose_distance
 from repro.core.query import query_distance
 from repro.errors import IndexError_
 from repro.graph.csr import CSRGraph
@@ -96,7 +97,7 @@ def check_label_soundness(
                 if hubs[i] != hub_rank:
                     continue
                 report.entries_checked += 1
-                if dists[i] != truth[v]:
+                if not isclose_distance(dists[i], truth[v]):
                     raise IndexError_(
                         f"label entry L({v}) hub {hub_vertex} stores "
                         f"{dists[i]}, true distance is {truth[v]}"
@@ -127,7 +128,7 @@ def check_cover(
         for t in range(graph.num_vertices):
             got = query_distance(store, s, t)
             report.pairs_checked += 1
-            if got != truth[t]:
+            if not isclose_distance(got, truth[t]):
                 raise IndexError_(
                     f"QUERY({s}, {t}) = {got}, Dijkstra says {truth[t]}"
                 )

@@ -9,6 +9,23 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CSRGraph
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _lockset_sanitizer_from_env():
+    """Install the lockset race sanitizer when PARAPLL_SANITIZE is set.
+
+    CI's lint-and-sanitize job runs the threaded tests with the flag on;
+    any lockset violation in the commit path, the dynamic queue, or the
+    thread communicator fails the session at teardown with full stacks.
+    """
+    from repro.check.sanitizer import enable_from_env
+
+    sanitizer = enable_from_env()
+    yield
+    if sanitizer is not None:
+        sanitizer.uninstall()
+        assert sanitizer.ok, "\n" + sanitizer.render()
+
+
 def build_graph(edges, n=None, name="test") -> CSRGraph:
     """Helper: build a CSR graph from (u, v, w) triples."""
     b = GraphBuilder(num_vertices=n)

@@ -1,0 +1,142 @@
+"""Tests for the label-invariant verifier (repro.check.invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import verify_index
+from repro.core.index import PLLIndex
+from repro.errors import CheckError
+from repro.parallel.threads import build_parallel_threads
+
+
+def checks_by_name(report):
+    return {c.name: c.status for c in report.checks}
+
+
+class TestCleanIndexes:
+    def test_serial_build_passes_strict(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        report = verify_index(
+            index, samples=24, seed=3, strict_minimality=True
+        )
+        assert report.ok, report.render()
+        assert report.redundant_labels == 0
+        assert report.sampled_pairs >= 24
+
+    def test_parallel_build_passes(self, random_graph):
+        index = build_parallel_threads(random_graph, 4, policy="dynamic")
+        report = verify_index(index, samples=24, seed=3)
+        assert report.ok, report.render()
+
+    def test_path_graph(self, path_graph):
+        report = verify_index(PLLIndex.build(path_graph), samples=8)
+        assert report.ok
+        assert checks_by_name(report)["two_hop_exact"] == "passed"
+
+    def test_no_graph_skips_exactness(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        index.graph = None
+        report = verify_index(index, samples=16)
+        assert checks_by_name(report)["two_hop_exact"] == "skipped"
+        assert report.ok  # skipped checks don't fail
+
+    def test_minimality_can_be_disabled(self, random_graph):
+        index = PLLIndex.build(random_graph)
+        report = verify_index(index, samples=0, check_minimality=False)
+        by_name = checks_by_name(report)
+        assert by_name["minimality"] == "skipped"
+        assert by_name["two_hop_exact"] == "skipped"
+
+    def test_report_lookup_unknown_check(self, path_graph):
+        report = verify_index(PLLIndex.build(path_graph), samples=0)
+        with pytest.raises(CheckError):
+            report.check("nonsense")
+
+
+class TestCorruptedIndexes:
+    """Tamper with finalized labels; the verifier must catch each case."""
+
+    @pytest.fixture
+    def index(self, random_graph):
+        idx = PLLIndex.build(random_graph)
+        idx.store.finalize()  # idempotent: later tampering sticks
+        return idx
+
+    def test_unsorted_hubs_detected(self, index):
+        hubs = index.store._finalized_hubs
+        v = next(u for u in range(index.num_vertices) if len(hubs[u]) >= 2)
+        hubs[v] = hubs[v][::-1].copy()
+        report = verify_index(index, samples=0, check_minimality=False)
+        assert checks_by_name(report)["hubs_sorted"] == "failed"
+        assert any(f.vertex == v for f in report.violations)
+
+    def test_negative_distance_detected(self, index):
+        index.store._finalized_dists[1][0] = -0.5
+        report = verify_index(index, samples=0, check_minimality=False)
+        assert checks_by_name(report)["distances_valid"] == "failed"
+
+    def test_nan_distance_detected(self, index):
+        index.store._finalized_dists[1][0] = float("nan")
+        report = verify_index(index, samples=0, check_minimality=False)
+        assert checks_by_name(report)["distances_valid"] == "failed"
+
+    def test_missing_self_label_detected(self, index):
+        v = 2
+        r = int(index.rank[v])
+        hubs = index.store._finalized_hubs[v]
+        dists = index.store._finalized_dists[v]
+        keep = hubs != r
+        index.store._finalized_hubs[v] = hubs[keep]
+        index.store._finalized_dists[v] = dists[keep]
+        report = verify_index(index, samples=0, check_minimality=False)
+        assert checks_by_name(report)["self_label"] == "failed"
+
+    def test_wrong_distances_fail_exactness(self, index, random_graph):
+        # Scale every label distance by 1.5 (self labels stay 0): all
+        # structural checks still pass, but every reachable pair now
+        # answers 1.5x too long — only the Dijkstra comparison sees it.
+        for v in range(index.num_vertices):
+            index.store._finalized_dists[v] *= 1.5
+        report = verify_index(
+            index, graph=random_graph, samples=64, seed=0,
+            check_minimality=False,
+        )
+        assert checks_by_name(report)["two_hop_exact"] == "failed"
+        assert not report.ok
+
+    def test_redundant_label_counted_and_strict_fails(self, index):
+        # Inject a label (rank[u], d) into L(v) that a common earlier
+        # hub already covers: legal for parallel builds (counted),
+        # fatal under strict minimality (serial builds are canonical).
+        store = index.store
+        candidates = [
+            w for w in range(index.num_vertices)
+            if len(store._finalized_hubs[w])
+            and store._finalized_hubs[w][0] == 0
+        ]
+        v, u = candidates[0], candidates[1]
+        h = int(index.rank[u])
+        assert h > 0
+        hubs_v = store._finalized_hubs[v]
+        dists_v = store._finalized_dists[v]
+        assert h not in hubs_v  # u's rank exceeds every hub labelling v
+        # Distance long enough that the shared hub 0 dominates it.
+        d_dom = float(
+            store._finalized_dists[v][0] + store._finalized_dists[u][0]
+        ) + 5.0
+        pos = int(np.searchsorted(hubs_v, h))
+        store._finalized_hubs[v] = np.insert(hubs_v, pos, h)
+        store._finalized_dists[v] = np.insert(dists_v, pos, d_dom)
+
+        loose = verify_index(index, samples=0, check_minimality=True)
+        strict = verify_index(index, samples=0, strict_minimality=True)
+        assert loose.redundant_labels >= 1
+        assert checks_by_name(loose)["minimality"] == "passed"
+        assert checks_by_name(strict)["minimality"] == "failed"
+
+    def test_render_lists_violations(self, index):
+        index.store._finalized_dists[1][0] = -1.0
+        report = verify_index(index, samples=0, check_minimality=False)
+        text = report.render()
+        assert "FAIL" in text
+        assert "distances_valid" in text

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import (
+from repro.efficiency import (
     efficiency_loss_study,
     measured_redundancy,
     proposition2_bound,

@@ -118,6 +118,66 @@ class TestDynamic:
         assert sorted(flat) == order
 
 
+class TestDynamicEdgeCases:
+    def test_chunk_larger_than_remaining(self):
+        """A grab near the end takes whatever is left, never overshoots."""
+        a = DynamicAssignment([1, 2, 3], 2, chunk=10)
+        assert a.next_task(0) == 1
+        assert a.remaining() == 0  # the whole tail moved to 0's buffer
+        assert a.next_task(1) is None
+        assert a.next_task(0) == 2
+        assert a.next_task(0) == 3
+        assert a.next_task(0) is None
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(TaskError):
+            DynamicAssignment([1], 1, chunk=-3)
+
+    def test_exhaustion_is_idempotent(self):
+        """After the queue drains, every further poll is None, forever."""
+        a = DynamicAssignment([1, 2, 3, 4, 5], 3, chunk=2)
+        seen = []
+        while True:
+            task = a.next_task(0)
+            if task is None:
+                break
+            seen.append(task)
+        assert seen == [1, 2, 3, 4, 5]
+        for _ in range(3):
+            for w in range(3):
+                assert a.next_task(w) is None
+        assert a.remaining() == 0
+
+    def test_remaining_excludes_buffered(self):
+        a = DynamicAssignment(list(range(10)), 2, chunk=4)
+        assert a.remaining() == 10
+        a.next_task(0)  # takes 4: one returned, three buffered
+        assert a.remaining() == 6
+
+    def test_concurrent_uniqueness_chunked(self):
+        """Chunked grabs from real threads still hand each root out once."""
+        order = list(range(503))  # deliberately not divisible by chunk
+        a = DynamicAssignment(order, 8, chunk=7)
+        got = [[] for _ in range(8)]
+
+        def worker(k):
+            while True:
+                task = a.next_task(k)
+                if task is None:
+                    return
+                got[k].append(task)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = [x for lst in got for x in lst]
+        assert sorted(flat) == order
+
+
 class TestFactory:
     def test_static(self):
         a = make_assignment("static", [1, 2], 2)
