@@ -678,6 +678,7 @@ class ExceptionHygieneRule(Rule):
 #: Sanctioned low-overhead observability facades importable from below.
 _OBS_FACADES = {
     "repro.obs.config",
+    "repro.obs.flightrec",
     "repro.obs.instruments",
     "repro.obs.trace",
     "repro.obs.timers",

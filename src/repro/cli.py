@@ -6,7 +6,11 @@ Subcommands::
     parapll index    --graph g.npz --out g.index.npz       # build labels
     parapll index    --graph g.npz --threads 8 --policy dynamic
     parapll query    --graph g.npz --index g.index.npz 3 42
+    parapll explain  --index g.index.npz 3 42              # why that answer?
     parapll stats    --index g.index.npz                   # label stats
+    parapll serve    --index g.index.npz --port 7777       # TCP oracle
+    parapll top      --port 7777                           # live status
+    parapll flightrec dump --out flight.jsonl              # post-mortem ring
     parapll obs      --graph g.npz --threads 4             # observed build
     parapll bench    --experiment table4                   # = repro.bench
     parapll perf     run --tag dev                         # benchmark suite
@@ -94,6 +98,137 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"distance({args.source}, {args.target}) = {result.distance}{via}")
     else:
         print(f"distance({args.source}, {args.target}) = unreachable")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+
+    graph = _load_graph(args.graph) if args.graph else None
+    index = PLLIndex.load(args.index, graph=graph)
+    explanation = index.explain(args.source, args.target)
+    if args.json:
+        print(_json.dumps(explanation.to_dict(), indent=2))
+    else:
+        print(explanation.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs import flightrec as _flightrec
+    from repro.service.oracle import DistanceOracle
+    from repro.service.server import DistanceServer
+
+    graph = _load_graph(args.graph) if args.graph else None
+    if args.index:
+        index = PLLIndex.load(args.index, graph=graph)
+    elif graph is not None:
+        index = PLLIndex.build(graph)
+    else:
+        raise ReproError("serve needs --index and/or --graph")
+    # SIGUSR1 dumps the flight recorder of a live server.
+    _flightrec.install_signal_handler()
+    oracle = DistanceOracle(index)
+    with DistanceServer(
+        oracle,
+        host=args.host,
+        port=args.port,
+        slow_query_seconds=args.slow_query_seconds,
+    ) as server:
+        print(
+            f"serving {index.num_vertices} vertices on "
+            f"{args.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_flightrec_dump(args: argparse.Namespace) -> int:
+    from repro.obs import flightrec as _flightrec
+
+    if args.port is not None:
+        from repro.service.server import DistanceClient
+
+        with DistanceClient(args.host, args.port) as client:
+            doc = client.debug(last=args.last)
+        count = _flightrec.dump_events(
+            doc["flightrec"], args.out, reason="remote-debug"
+        )
+        print(f"dumped {count} remote flight-recorder events to {args.out}")
+        return 0
+    if args.graph:
+        # Run an instrumented build so the ring has something to show.
+        graph = _load_graph(args.graph)
+        build_parallel_threads(graph, args.threads, policy=args.policy)
+    count = _flightrec.get_recorder().dump(args.out, reason="manual")
+    print(f"dumped {count} flight-recorder events to {args.out}")
+    return 0
+
+
+def _render_status(status: dict) -> str:
+    """One refresh frame of ``parapll top``."""
+    idx = status.get("index", {})
+    lines = [
+        "parapll top",
+        "===========",
+        f"uptime     {status.get('uptime_seconds', 0.0):10.1f} s",
+        f"index      {idx.get('vertices', '?')} vertices, "
+        f"{idx.get('entries', '?')} label entries "
+        f"(LN {idx.get('avg_label_size', 0.0):.1f})",
+        f"in-flight  {status.get('in_flight', '?')}"
+        f"    queries {status.get('queries', '?')}"
+        f"    slow {status.get('slow_requests', '?')}"
+        f"    malformed {status.get('malformed_lines', '?')}",
+    ]
+    quantiles = status.get("latency_quantiles") or {}
+    if quantiles:
+        lines.append("latency    op              p50         p95         p99")
+        for op in sorted(quantiles):
+            q = quantiles[op]
+            lines.append(
+                f"           {op:<12}"
+                + "".join(
+                    f"{q.get(p, 0.0) * 1000.0:9.3f}ms"
+                    for p in ("p50", "p95", "p99")
+                )
+            )
+    tail = status.get("flightrec") or []
+    if tail:
+        lines.append("flight recorder (newest last):")
+        for event in tail:
+            lines.append(
+                f"  #{event.get('seq', '?'):<6} {event.get('kind', '?'):<16} "
+                f"{event.get('attrs', {})}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service.server import DistanceClient
+
+    shown = 0
+    with DistanceClient(args.host, args.port) as client:
+        while True:
+            status = client.status()
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_status(status), flush=True)
+            shown += 1
+            if args.iterations is not None and shown >= args.iterations:
+                break
+            _time.sleep(args.interval)
     return 0
 
 
@@ -395,9 +530,88 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("target", type=int)
     q.set_defaults(func=_cmd_query)
 
+    e = sub.add_parser(
+        "explain",
+        help="EXPLAIN one query: candidate hubs, roles, scan costs",
+    )
+    e.add_argument("--index", required=True)
+    e.add_argument("--graph", default=None)
+    e.add_argument(
+        "--json", action="store_true",
+        help="emit the parapll-explain/1 JSON document",
+    )
+    e.add_argument("source", type=int)
+    e.add_argument("target", type=int)
+    e.set_defaults(func=_cmd_explain)
+
     s = sub.add_parser("stats", help="summarise a saved index")
     s.add_argument("--index", required=True)
     s.set_defaults(func=_cmd_stats)
+
+    sv = sub.add_parser(
+        "serve", help="serve an index over line-JSON TCP"
+    )
+    sv.add_argument("--index", default=None, help="saved index (.npz)")
+    sv.add_argument(
+        "--graph", default=None,
+        help="graph file (index is built fresh when no --index is given)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0)
+    sv.add_argument(
+        "--slow-query-seconds", type=float, default=0.5,
+        help="slow-query threshold; batches abort past it",
+    )
+    sv.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for N seconds then exit (default: forever)",
+    )
+    sv.set_defaults(func=_cmd_serve)
+
+    tp = sub.add_parser(
+        "top", help="poll a live server's status op and render it"
+    )
+    tp.add_argument("--host", default="127.0.0.1")
+    tp.add_argument("--port", type=int, required=True)
+    tp.add_argument("--interval", type=float, default=1.0)
+    tp.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    tp.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the terminal",
+    )
+    tp.set_defaults(func=_cmd_top)
+
+    fr = sub.add_parser(
+        "flightrec", help="flight recorder: dump the last-N event ring"
+    )
+    frsub = fr.add_subparsers(dest="flightrec_command", required=True)
+    frd = frsub.add_parser(
+        "dump",
+        help="dump the ring to JSONL (local, post-build, or from a "
+        "live server's debug op)",
+    )
+    frd.add_argument("--out", default="flightrec.jsonl", metavar="FILE")
+    frd.add_argument(
+        "--graph", default=None,
+        help="run a threaded build first so the ring has events",
+    )
+    frd.add_argument("--threads", type=int, default=4)
+    frd.add_argument(
+        "--policy", choices=("static", "dynamic"), default="dynamic"
+    )
+    frd.add_argument("--host", default="127.0.0.1")
+    frd.add_argument(
+        "--port", type=int, default=None,
+        help="fetch the ring from a live server instead of this process",
+    )
+    frd.add_argument(
+        "--last", type=int, default=None,
+        help="only the newest N events (remote fetch)",
+    )
+    frd.set_defaults(func=_cmd_flightrec_dump)
 
     o = sub.add_parser(
         "obs",

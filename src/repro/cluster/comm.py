@@ -21,6 +21,9 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.network import NetworkModel
 from repro.errors import CommError
+from repro.obs import config as _obs_config
+from repro.obs import context as _ctx
+from repro.obs import trace as _trace
 from repro.obs.instruments import record_comm
 
 __all__ = ["SimComm"]
@@ -83,15 +86,28 @@ class SimComm:
         """Send *payload* from *source* to *dest* (non-blocking)."""
         self._check_rank(source)
         self._check_rank(dest)
+        entries = _payload_entries(payload)  # size of the RAW payload
         units = self.network.latency_units + (
-            self.network.per_entry_units * _payload_entries(payload)
+            self.network.per_entry_units * entries
         )
         send_done = self.clocks[source] + units * self.seconds_per_unit
         self.comm_seconds[source] += send_done - self.clocks[source]
         self.clocks[source] = send_done
+        env = _ctx.stamp(payload, rank=source)
+        if _obs_config.TRACING:
+            _trace.event(
+                "comm_send",
+                ts=send_done,
+                clock="sim",
+                flow="out",
+                flow_id=env.flow_id,
+                trace_id=env.ctx.trace_id if env.ctx else None,
+                src=source,
+                dest=dest,
+            )
         key = (source, dest, tag)
-        self._mailboxes.setdefault(key, deque()).append((send_done, payload))
-        record_comm("send", _payload_entries(payload))
+        self._mailboxes.setdefault(key, deque()).append((send_done, env))
+        record_comm("send", entries)
 
     def recv(self, source: int, dest: int, tag: int = 0) -> Any:
         """Receive the next message from *source* at *dest* (blocking).
@@ -109,10 +125,22 @@ class SimComm:
             raise CommError(
                 f"recv on rank {dest} from {source} tag {tag}: no message"
             )
-        arrival, payload = box.popleft()
+        arrival, raw = box.popleft()
         wait = max(0.0, arrival - self.clocks[dest])
         self.comm_seconds[dest] += wait
         self.clocks[dest] = max(self.clocks[dest], arrival)
+        payload, env_ctx, flow_id = _ctx.unwrap(raw)
+        if _obs_config.TRACING and flow_id is not None:
+            _trace.event(
+                "comm_recv",
+                ts=self.clocks[dest],
+                clock="sim",
+                flow="in",
+                flow_id=flow_id,
+                trace_id=env_ctx.trace_id if env_ctx else None,
+                src=source,
+                dest=dest,
+            )
         return payload
 
     # ------------------------------------------------------------------
@@ -149,11 +177,28 @@ class SimComm:
         pending = self._pending.setdefault("allgather", {})
         if rank in pending:
             raise CommError(f"rank {rank} joined the allgather twice")
-        pending[rank] = payload
+        env = _ctx.stamp(payload, rank=rank)
+        if _obs_config.TRACING:
+            _trace.event(
+                "comm_send",
+                ts=self.clocks[rank],
+                clock="sim",
+                flow="out",
+                flow_id=env.flow_id,
+                trace_id=env.ctx.trace_id if env.ctx else None,
+                src=rank,
+                dest=None,
+            )
+        pending[rank] = env
         if len(pending) < self.size:
             return None
-        gathered = [pending[r] for r in range(self.size)]
-        sizes = [_payload_entries(p) for p in gathered]
+        envelopes = [pending[r] for r in range(self.size)]
+        gathered = []
+        sizes = []
+        for e in envelopes:
+            raw_payload, _, _ = _ctx.unwrap(e)
+            gathered.append(raw_payload)
+            sizes.append(_payload_entries(raw_payload))
         units = self.network.exchange_units(sizes, self.size)
         start = max(self.clocks)
         exit_time = start + units * self.seconds_per_unit
@@ -162,6 +207,22 @@ class SimComm:
             self.clocks[r] = exit_time
         del self._pending["allgather"]
         self._last_allgather = gathered
+        if _obs_config.TRACING:
+            for dest in range(self.size):
+                for src, e in enumerate(envelopes):
+                    if src == dest:
+                        continue
+                    _, env_ctx, flow_id = _ctx.unwrap(e)
+                    _trace.event(
+                        "comm_recv",
+                        ts=exit_time,
+                        clock="sim",
+                        flow="in",
+                        flow_id=flow_id,
+                        trace_id=env_ctx.trace_id if env_ctx else None,
+                        src=src,
+                        dest=dest,
+                    )
         # Each entry reaches the size-1 other ranks in the allgather.
         record_comm("allgather", sum(sizes), fanout=self.size - 1)
         return gathered
@@ -181,17 +242,39 @@ class SimComm:
         collective, which is how cluster ParaPLL uses it).
         """
         self._check_rank(root)
-        units = self.network.broadcast_units(
-            _payload_entries(payload), self.size
-        )
+        entries = _payload_entries(payload)  # size of the RAW payload
+        units = self.network.broadcast_units(entries, self.size)
         start = max(self.clocks)
         exit_time = start + units * self.seconds_per_unit
         for r in range(self.size):
             self.comm_seconds[r] += exit_time - self.clocks[r]
             self.clocks[r] = exit_time
-        record_comm(
-            "bcast", _payload_entries(payload), fanout=self.size - 1
-        )
+        if _obs_config.TRACING:
+            env = _ctx.stamp(payload, rank=root)
+            _trace.event(
+                "comm_send",
+                ts=start,
+                clock="sim",
+                flow="out",
+                flow_id=env.flow_id,
+                trace_id=env.ctx.trace_id if env.ctx else None,
+                src=root,
+                dest=None,
+            )
+            for dest in range(self.size):
+                if dest == root:
+                    continue
+                _trace.event(
+                    "comm_recv",
+                    ts=exit_time,
+                    clock="sim",
+                    flow="in",
+                    flow_id=env.flow_id,
+                    trace_id=env.ctx.trace_id if env.ctx else None,
+                    src=root,
+                    dest=dest,
+                )
+        record_comm("bcast", entries, fanout=self.size - 1)
         return [payload for _ in range(self.size)]
 
     # ------------------------------------------------------------------

@@ -28,6 +28,8 @@ from repro.core.labels import LabelStore
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import context as _ctx
+from repro.obs import flightrec as _flightrec
 from repro.obs import trace as _trace
 from repro.obs.instruments import record_sync_round
 from repro.sim.costmodel import CostModel
@@ -176,6 +178,9 @@ def simulate_cluster(
     communication_time = 0.0
     sync_wait_time = 0.0
     per_sync_entries: List[int] = []
+    # One trace context for the whole simulated build: the comm layer
+    # stamps it into every allgather envelope (re-ranked per sender).
+    build_ctx = _ctx.current() or _ctx.new_context()
 
     for j in range(syncs):
         # Local compute phase: each node indexes its j-th chunk.
@@ -188,8 +193,15 @@ def simulate_cluster(
         # Exchange each node's delta List (Algorithm 3 line 15).
         deltas = [node.drain_deltas() for node in nodes]
         round_entries = sum(len(d) for d in deltas)
-        with _trace.span(
-            "cluster_sync", round=j, entries=round_entries, nodes=num_nodes
+        _flightrec.record(
+            "sync_round", round=j, entries=round_entries, nodes=num_nodes
+        )
+        with _ctx.activate(build_ctx), _trace.span(
+            "cluster_sync",
+            round=j,
+            entries=round_entries,
+            nodes=num_nodes,
+            trace_id=build_ctx.trace_id,
         ) as sp:
             before = comm.clocks[0]
             gathered = None

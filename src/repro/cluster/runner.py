@@ -26,6 +26,9 @@ from repro.core.pruned_dijkstra import PrunedDijkstra
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import context as _ctx
+from repro.obs import flightrec as _flightrec
+from repro.obs import trace as _trace
 from repro.types import IndexStats
 
 __all__ = ["cluster_rank_program", "run_cluster_threads"]
@@ -60,25 +63,41 @@ def cluster_rank_program(
     store = LabelStore(graph.num_vertices)
     share = round_robin_partition(order, comm.size)[rank]
     chunks = split_chunks(share, syncs, schedule=sync_schedule)
+    ctx = _ctx.current()
 
-    for chunk in chunks:
-        # Local compute phase: index this chunk against local labels,
-        # accumulating the update List (Algorithm 3 lines 8-11).
-        update_list: List[Triple] = []
-        for root in chunk:
-            delta = engine.run(int(root), store)
-            root_rank = engine.rank_of(int(root))
-            triples = [(v, root_rank, d) for v, d in delta]
-            store.add_delta(triples)
-            update_list.extend(triples)
-        # Synchronisation phase (line 15): exchange Lists, merge.
-        gathered = comm.allgather(rank, update_list)
-        for src, triples in enumerate(gathered):
-            if src == rank:
-                continue
-            for v, h, d in triples:
-                if h not in store.hubs_of(v):
-                    store.add(v, h, d)
+    with _trace.span(
+        "cluster_rank",
+        rank=rank,
+        trace_id=ctx.trace_id if ctx else None,
+        chunks=len(chunks),
+    ):
+        for round_no, chunk in enumerate(chunks):
+            # Local compute phase: index this chunk against local
+            # labels, accumulating the update List (Alg. 3 lines 8-11).
+            update_list: List[Triple] = []
+            with _trace.span(
+                "cluster_chunk", rank=rank, round=round_no, roots=len(chunk)
+            ):
+                for root in chunk:
+                    delta = engine.run(int(root), store)
+                    root_rank = engine.rank_of(int(root))
+                    triples = [(v, root_rank, d) for v, d in delta]
+                    store.add_delta(triples)
+                    update_list.extend(triples)
+            # Synchronisation phase (line 15): exchange Lists, merge.
+            _flightrec.record(
+                "sync_round",
+                rank=rank,
+                round=round_no,
+                entries=len(update_list),
+            )
+            gathered = comm.allgather(rank, update_list)
+            for src, triples in enumerate(gathered):
+                if src == rank:
+                    continue
+                for v, h, d in triples:
+                    if h not in store.hubs_of(v):
+                        store.add(v, h, d)
     return store
 
 
@@ -110,11 +129,15 @@ def run_cluster_threads(
     if order is None:
         order = by_degree(graph)
     comm = ThreadComm(num_nodes, timeout=timeout)
+    # One trace context for the whole build: every rank activates a
+    # per-rank child, so spans/envelopes from all ranks stitch together.
+    build_ctx = _ctx.current() or _ctx.new_context()
     stores = run_ranks(
         comm,
         lambda rank, c: cluster_rank_program(
             rank, c, graph, order, syncs, sync_schedule
         ),
+        trace_context=build_ctx,
     )
     # Every rank converged to the same set; sanity-check then wrap one.
     reference = stores[0]

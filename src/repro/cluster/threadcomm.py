@@ -20,8 +20,46 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.check import hooks as _check_hooks
 from repro.errors import CommError
+from repro.obs import config as _obs_config
+from repro.obs import context as _ctx
+from repro.obs import flightrec as _flightrec
+from repro.obs import trace as _trace
 
 __all__ = ["ThreadComm", "run_ranks"]
+
+
+def _record_send(env: _ctx.Envelope, src: int, dest: Optional[int]) -> None:
+    """Trace one message departure (no-op unless tracing is on)."""
+    if not _obs_config.TRACING:
+        return
+    ctx = env.ctx
+    _trace.event(
+        "comm_send",
+        flow="out",
+        flow_id=env.flow_id,
+        trace_id=ctx.trace_id if ctx else None,
+        src=src,
+        dest=dest,
+    )
+
+
+def _record_recv(
+    env_ctx: Optional[_ctx.TraceContext],
+    flow_id: Optional[str],
+    src: int,
+    dest: int,
+) -> None:
+    """Trace one message arrival (no-op unless tracing is on)."""
+    if not _obs_config.TRACING or flow_id is None:
+        return
+    _trace.event(
+        "comm_recv",
+        flow="in",
+        flow_id=flow_id,
+        trace_id=env_ctx.trace_id if env_ctx else None,
+        src=src,
+        dest=dest,
+    )
 
 
 class ThreadComm:
@@ -71,10 +109,18 @@ class ThreadComm:
 
     # ------------------------------------------------------------------
     def send(self, payload: Any, source: int, dest: int, tag: int = 0) -> None:
-        """Deliver *payload* to *dest*'s mailbox (non-blocking)."""
+        """Deliver *payload* to *dest*'s mailbox (non-blocking).
+
+        The payload travels inside a :class:`repro.obs.context.Envelope`
+        stamped with the sender's :class:`~repro.obs.context.TraceContext`
+        so cross-rank traces stitch into one timeline; ``recv`` unwraps
+        transparently.
+        """
         self._check_rank(source)
         self._check_rank(dest)
-        self._box(source, dest, tag).put(payload)
+        env = _ctx.stamp(payload, rank=source)
+        _record_send(env, src=source, dest=dest)
+        self._box(source, dest, tag).put(env)
 
     def recv(self, source: int, dest: int, tag: int = 0) -> Any:
         """Block until a message from *source* arrives at *dest*.
@@ -85,11 +131,14 @@ class ThreadComm:
         self._check_rank(source)
         self._check_rank(dest)
         try:
-            return self._box(source, dest, tag).get(timeout=self.timeout)
+            raw = self._box(source, dest, tag).get(timeout=self.timeout)
         except queue.Empty:
             raise CommError(
                 f"recv timeout on rank {dest} from {source} tag {tag}"
             ) from None
+        payload, env_ctx, flow_id = _ctx.unwrap(raw)
+        _record_recv(env_ctx, flow_id, src=source, dest=dest)
+        return payload
 
     # ------------------------------------------------------------------
     def barrier(self, rank: int) -> None:
@@ -107,16 +156,23 @@ class ThreadComm:
         is safe to call repeatedly in a loop from all ranks.
         """
         self._check_rank(rank)
+        env = _ctx.stamp(payload, rank=rank)
+        _record_send(env, src=rank, dest=None)
         with self._gather_lock:
             _check_hooks.access(self._san_gather, write=True)
             if self._gather_filled[rank]:
                 raise CommError(
                     f"rank {rank} joined the same allgather twice"
                 )
-            self._gather_slots[rank] = payload
+            self._gather_slots[rank] = env
             self._gather_filled[rank] = True
         self.barrier(rank)  # everyone has written
-        result = list(self._gather_slots)
+        result = []
+        for src, raw in enumerate(self._gather_slots):
+            slot_payload, env_ctx, flow_id = _ctx.unwrap(raw)
+            result.append(slot_payload)
+            if src != rank:
+                _record_recv(env_ctx, flow_id, src=src, dest=rank)
         self.barrier(rank)  # everyone has read
         # One designated rank resets the slots for the next round; the
         # final barrier keeps slot reuse race-free.
@@ -139,25 +195,42 @@ def run_ranks(
     comm: ThreadComm,
     fn: Callable[[int, ThreadComm], Any],
     timeout: Optional[float] = None,
+    trace_context: Optional[_ctx.TraceContext] = None,
 ) -> List[Any]:
     """Run ``fn(rank, comm)`` on one thread per rank; gather the returns.
 
     Exceptions from any rank are re-raised in the caller (the first one
-    by rank order) after all threads have been joined.
+    by rank order) after all threads have been joined.  Before
+    re-raising, the flight recorder captures a ``rank_failure`` event
+    and auto-dumps (when ``PARAPLL_FLIGHTREC_DIR`` is set), and the
+    raised exception gains a :class:`~repro.errors.CommError` cause
+    carrying the failing rank programmatically (``cause.rank``).
 
     Args:
         comm: the communicator whose ``size`` defines the rank count.
         fn: the per-rank program.
         timeout: join timeout per thread (defaults to the comm's).
+        trace_context: trace context to propagate into every rank
+            thread (each rank activates a per-rank child so its spans
+            and comm envelopes stitch into the caller's trace).
+            Defaults to the caller's current context.
     """
     results: List[Any] = [None] * comm.size
     errors: List[Optional[BaseException]] = [None] * comm.size
+    parent_ctx = trace_context if trace_context is not None else _ctx.current()
 
     def runner(rank: int) -> None:
         try:
-            results[rank] = fn(rank, comm)
+            rank_ctx = (
+                parent_ctx.child(rank=rank) if parent_ctx is not None else None
+            )
+            with _ctx.activate(rank_ctx):
+                results[rank] = fn(rank, comm)
         except BaseException as exc:  # surfaced below
             errors[rank] = exc
+            _flightrec.record(
+                "rank_failure", rank=rank, error=repr(exc)
+            )
             # Break the barrier so sibling ranks fail fast instead of
             # waiting out the full timeout.
             comm._barrier.abort()
@@ -170,7 +243,10 @@ def run_ranks(
         t.start()
     for t in threads:
         t.join(timeout=timeout or comm.timeout + 5.0)
-    for exc in errors:
+    for rank, exc in enumerate(errors):
         if exc is not None:
-            raise exc
+            _flightrec.auto_dump("rank_failure")
+            raise exc from CommError(
+                f"rank {rank} failed during run_ranks", rank=rank
+            )
     return results

@@ -109,6 +109,23 @@ class PLLIndex:
             entries_scanned=res.entries_scanned,
         )
 
+    def explain(self, s: int, t: int):
+        """EXPLAIN the query: every candidate hub, classified, plus cost.
+
+        Runs on a separate diagnostic code path (the hot
+        :func:`~repro.core.query.query_distance` loop is untouched);
+        the explanation's ``distance`` equals :meth:`distance` exactly.
+
+        Returns:
+            A :class:`~repro.obs.explain.QueryExplanation` with hub
+            ranks mapped back to vertex ids via this index's ordering.
+        """
+        self._check_vertex(s)
+        self._check_vertex(t)
+        from repro.obs.explain import explain_query
+
+        return explain_query(self.store, s, t, order=self.order)
+
     def distances_from(self, s: int, targets: Sequence[int]) -> list[float]:
         """Batch distances from *s* to each vertex in *targets*."""
         self._check_vertex(s)

@@ -24,7 +24,13 @@ import numpy as np
 from repro.core.labels import LabelStore
 from repro.types import INF, QueryResult
 
-__all__ = ["query_distance", "query_via_tmp", "query_numpy", "query_result"]
+__all__ = [
+    "query_distance",
+    "query_via_tmp",
+    "query_numpy",
+    "query_result",
+    "query_candidates",
+]
 
 
 def query_distance(store: LabelStore, s: int, t: int) -> float:
@@ -89,6 +95,45 @@ def query_result(store: LabelStore, s: int, t: int) -> QueryResult:
         else:
             j += 1
     return QueryResult(distance=float(best), hub=best_hub, entries_scanned=scanned)
+
+
+def query_candidates(
+    store: LabelStore, s: int, t: int
+) -> Tuple[List[Tuple[int, float, float]], int, int]:
+    """Every common hub of ``L(s)``/``L(t)`` with both-side distances.
+
+    The diagnostic sibling of :func:`query_distance`: a separate merge
+    join that *keeps* every meeting hub instead of reducing to the
+    minimum, so EXPLAIN (:mod:`repro.obs.explain`) can attribute the
+    answer.  Deliberately a distinct code path — the production query
+    loop above carries no instrumentation and no branches for this.
+
+    Returns:
+        ``(candidates, scanned_s, scanned_t)``: candidates is a list of
+        ``(hub_rank, d_hub_s, d_hub_t)`` in hub-rank order; the scan
+        counts are how many label entries the join consumed on each
+        side (the query-cost attribution).
+    """
+    if s == t:
+        return [], 0, 0
+    hs = store.finalized_hubs(s)
+    ds = store.finalized_dists(s)
+    ht = store.finalized_hubs(t)
+    dt = store.finalized_dists(t)
+    i = j = 0
+    ls, lt = len(hs), len(ht)
+    candidates: List[Tuple[int, float, float]] = []
+    while i < ls and j < lt:
+        a, b = hs[i], ht[j]
+        if a == b:
+            candidates.append((int(a), float(ds[i]), float(dt[j])))
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return candidates, i, j
 
 
 def query_via_tmp(

@@ -4,13 +4,35 @@ Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can catch library failures with a single
 ``except`` clause while still letting programming errors (``TypeError``,
 ``KeyError``, ...) propagate.
+
+Errors carry *structured details*: any keyword arguments passed at
+raise time (``TaskError("worker 3 failed", worker=3, root=17)``) become
+both attributes on the instance and entries in :attr:`ReproError.details`,
+so the flight recorder and tests can assert on ``exc.worker`` /
+``exc.rank`` programmatically instead of parsing the message string.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Args:
+        *args: the usual exception message arguments.
+        **details: structured, JSON-safe context (``worker=``, ``rank=``,
+            ``root=``, ...), exposed as attributes and via
+            :attr:`details`.
+    """
+
+    def __init__(self, *args: object, **details: Any) -> None:
+        super().__init__(*args)
+        #: Structured raise-time context, e.g. ``{"worker": 3, "root": 17}``.
+        self.details: Dict[str, Any] = details
+        for key, value in details.items():
+            setattr(self, key, value)
 
 
 class GraphError(ReproError):

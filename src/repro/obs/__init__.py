@@ -22,6 +22,12 @@ the TCP serving layer all feed one process-wide metrics registry and
   suite behind ``parapll perf``: recorded baselines plus the
   improved/unchanged/regressed gate.
 * :mod:`repro.obs.env` — environment metadata stamped onto results.
+* :mod:`repro.obs.explain` — per-query EXPLAIN: candidate hubs,
+  winner/redundant/dominated classification, label-scan costs.
+* :mod:`repro.obs.context` — cross-rank :class:`TraceContext`
+  propagation; communicators stamp it onto every envelope.
+* :mod:`repro.obs.flightrec` — always-on ring buffer of the last N
+  structured events, dumped to JSONL on failures / ``SIGUSR1``.
 
 Metrics are default-on (cheap counter bumps); tracing is opt-in::
 
@@ -34,7 +40,25 @@ Metrics are default-on (cheap counter bumps); tracing is opt-in::
 """
 
 from repro.obs.config import ObsConfig, configure, current_config
+from repro.obs.context import (
+    Envelope,
+    TraceContext,
+    activate,
+    new_context,
+)
 from repro.obs.env import environment_metadata
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    HubCandidate,
+    QueryExplanation,
+    explain_query,
+)
+from repro.obs.flightrec import (
+    FLIGHTREC_SCHEMA,
+    FlightRecorder,
+    get_recorder,
+    install_signal_handler,
+)
 from repro.obs.export import (
     prometheus_text,
     read_trace_jsonl,
@@ -90,6 +114,18 @@ __all__ = [
     "chrome_trace",
     "render_critical_path",
     "write_chrome_trace",
+    "TraceContext",
+    "Envelope",
+    "new_context",
+    "activate",
+    "EXPLAIN_SCHEMA",
+    "HubCandidate",
+    "QueryExplanation",
+    "explain_query",
+    "FLIGHTREC_SCHEMA",
+    "FlightRecorder",
+    "get_recorder",
+    "install_signal_handler",
     "reset",
 ]
 
@@ -103,3 +139,4 @@ def reset() -> None:
     """
     get_registry().reset()
     get_tracer().clear()
+    get_recorder().clear()

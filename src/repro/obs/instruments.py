@@ -150,7 +150,18 @@ ORACLE_CACHE_HITS = _REG.counter(
 #: Ops the server reports individually; anything else is folded into
 #: "unknown" so hostile clients cannot blow up label cardinality.
 KNOWN_SERVICE_OPS = frozenset(
-    {"ping", "distance", "batch", "knn", "path", "stats", "metrics"}
+    {
+        "ping",
+        "distance",
+        "batch",
+        "knn",
+        "path",
+        "stats",
+        "metrics",
+        "explain",
+        "status",
+        "debug",
+    }
 )
 
 
@@ -190,16 +201,34 @@ def record_comm(op: str, entries: int, fanout: int = 1) -> None:
 
 
 def record_request(
-    op: Optional[str], seconds: float, ok: bool
+    op: Optional[str], seconds: float, ok: bool, include_latency: bool = True
 ) -> None:
-    """Record one server request: counter, latency histogram, errors."""
+    """Record one server request: counter, latency histogram, errors.
+
+    Args:
+        op: request op (folded into ``"unknown"`` when unrecognised).
+        seconds: server-side handling time.
+        ok: whether the request succeeded.
+        include_latency: pass ``False`` when the caller records latency
+            at a finer grain itself (the batch op observes *per-pair*
+            latencies via :func:`record_batch_pair` instead of skewing
+            the histogram with one whole-request sample).
+    """
     if not _config.METRICS:
         return
     label = op if op in KNOWN_SERVICE_OPS else "unknown"
     SERVICE_REQUESTS.labels(op=label).inc()
-    SERVICE_LATENCY.labels(op=label).observe(seconds)
+    if include_latency:
+        SERVICE_LATENCY.labels(op=label).observe(seconds)
     if not ok:
         SERVICE_ERRORS.labels(op=label).inc()
+
+
+def record_batch_pair(seconds: float) -> None:
+    """Record one pair's latency inside a batch request."""
+    if not _config.METRICS:
+        return
+    SERVICE_LATENCY.labels(op="batch").observe(seconds)
 
 
 def record_slow_request(op: Optional[str]) -> None:

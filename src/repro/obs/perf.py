@@ -356,6 +356,52 @@ def _wl_index_invariants(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_explain_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """EXPLAIN must cost the plain query path nothing.
+
+    EXPLAIN runs on a separate diagnostic code path
+    (:func:`repro.core.query.query_candidates`), not an ``if`` inside
+    the hot merge join — so this workload times the *plain*
+    ``query_distance`` loop (gating it like any other time metric: a
+    regression here means EXPLAIN leaked into the hot path) and
+    separately times the EXPLAIN loop, while asserting that every
+    explained distance equals the plain query bit-for-bit.
+    """
+    import numpy as np
+
+    from repro.core.index import PLLIndex
+    from repro.core.paths import isclose_distance
+    from repro.core.query import query_distance
+
+    index = PLLIndex.build(ctx.graph)
+    store = index.store
+    n = ctx.graph.num_vertices
+    rng = np.random.default_rng(ctx.seed + 17)
+    pairs = [(int(s), int(t)) for s, t in rng.integers(0, n, size=(100, 2))]
+
+    t0 = time.perf_counter()
+    plain = [query_distance(store, s, t) for s, t in pairs]
+    plain_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    explanations = [index.explain(s, t) for s, t in pairs]
+    explain_wall = time.perf_counter() - t0
+
+    # atol=0.0 makes isclose_distance an exact-equality test (with the
+    # INF sentinel handled): EXPLAIN must reproduce the query verbatim.
+    matches = sum(
+        1
+        for d, e in zip(plain, explanations)
+        if isclose_distance(d, e.distance, atol=0.0)
+    )
+    return {
+        "plain_query_seconds": _metric(plain_wall, "time", "s"),
+        "explain_seconds": _metric(explain_wall, "time", "s"),
+        "explain_matches": _metric(float(matches), "counter", "pairs"),
+        "pairs": _metric(float(len(pairs)), "counter", "pairs"),
+    }
+
+
 def default_workloads() -> List[Workload]:
     """The standard PerfSuite (one Workload per execution mode)."""
     return [
@@ -367,6 +413,7 @@ def default_workloads() -> List[Workload]:
         Workload("query_batch", _wl_query_batch),
         Workload("server_roundtrip", _wl_server_roundtrip),
         Workload("index_invariants", _wl_index_invariants),
+        Workload("explain_overhead", _wl_explain_overhead),
     ]
 
 

@@ -172,6 +172,11 @@ def chrome_trace(
         return tids[key]
 
     events: List[Dict[str, Any]] = []
+    # Cross-rank message stitching: comm_send ("flow": "out") and
+    # comm_recv ("flow": "in") records sharing a flow_id become a
+    # Chrome flow-event arrow from the send point to the recv point.
+    flow_sends: Dict[str, Tuple[int, int, float]] = {}
+    flow_recvs: List[Tuple[str, int, int, float, int]] = []
     for rec in records:
         pid = PID_SIM if _is_sim(rec) else PID_WALL
         lane = _lane_of(rec)
@@ -206,6 +211,51 @@ def chrome_trace(
         if ph == "i":
             event["s"] = "t"  # thread-scoped instant
         events.append(event)
+        flow = rec.attrs.get("flow")
+        flow_id = rec.attrs.get("flow_id")
+        if flow_id is not None:
+            if flow == "out":
+                flow_sends[flow_id] = (pid, tid, event["ts"])
+            elif flow == "in":
+                flow_recvs.append(
+                    (flow_id, pid, tid, event["ts"], rec.span_id)
+                )
+    # Emit one flow arrow per delivered message.  Broadcast/allgather
+    # sends fan out to several receivers, so the edge id is
+    # flow_id + receiver (Chrome flow ids must be unique per arrow).
+    for flow_id, pid, tid, ts, span_id in flow_recvs:
+        send = flow_sends.get(flow_id)
+        if send is None:
+            continue
+        s_pid, s_tid, s_ts = send
+        edge = f"{flow_id}>{span_id}"
+        events.append(
+            {
+                "name": "comm",
+                "cat": "comm",
+                "ph": "s",
+                "id": edge,
+                "ts": s_ts,
+                "dur": 0,
+                "pid": s_pid,
+                "tid": s_tid,
+                "args": {"flow_id": flow_id},
+            }
+        )
+        events.append(
+            {
+                "name": "comm",
+                "cat": "comm",
+                "ph": "f",
+                "bp": "e",
+                "id": edge,
+                "ts": max(ts, s_ts),
+                "dur": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"flow_id": flow_id},
+            }
+        )
     events.sort(key=lambda e: (e["pid"], e["ts"], e["tid"]))
 
     meta: List[Dict[str, Any]] = []

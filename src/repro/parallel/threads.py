@@ -29,6 +29,7 @@ from repro.errors import TaskError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
 from repro.obs import config as _obs_config
+from repro.obs import flightrec as _flightrec
 from repro.obs import instruments as _inst
 from repro.obs import trace as _trace
 from repro.parallel.task_manager import make_assignment
@@ -108,6 +109,9 @@ def build_parallel_threads(
                 wait = perf() - t_ask
                 if root is None:
                     return
+                _flightrec.record(
+                    "task_grab", worker=worker_id, root=root
+                )
                 with _trace.span(
                     "root_search", worker=worker_id, root=root
                 ) as sp:
@@ -125,6 +129,12 @@ def build_parallel_threads(
                         lock_wait=t_acq - t_req,
                         commit=t_rel - t_acq,
                     )
+                _flightrec.record(
+                    "label_commit",
+                    worker=worker_id,
+                    root=root,
+                    labels=len(delta),
+                )
                 if _obs_config.METRICS:
                     roots_done.inc()
                     queue_wait.inc(wait)
@@ -132,6 +142,12 @@ def build_parallel_threads(
                     _inst.COMMIT_LOCK_WAIT.inc(t_acq - t_req)
                     _inst.COMMIT_LOCK_HOLD.inc(t_rel - t_acq)
         except BaseException as exc:  # surfaced to the caller below
+            _flightrec.record(
+                "worker_failure",
+                worker=worker_id,
+                root=root,
+                error=repr(exc),
+            )
             errors.append(WorkerFailure(worker=worker_id, root=root, exc=exc))
 
     t0 = time.perf_counter()
@@ -157,9 +173,13 @@ def build_parallel_threads(
             if failure.root is not None
             else "while pulling the next task"
         )
+        _flightrec.auto_dump("worker_failure")
         raise failure.exc from TaskError(
             f"worker {failure.worker} failed {where} "
-            f"({len(errors)} worker(s) failed in total)"
+            f"({len(errors)} worker(s) failed in total)",
+            worker=failure.worker,
+            root=failure.root,
+            failures=len(errors),
         )
 
     # The concurrent phase is over: drop the sanitizer wrapper (if any)

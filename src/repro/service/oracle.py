@@ -32,6 +32,7 @@ class OracleStats:
         batch_queries: batch requests served.
         knn_queries: k-nearest requests served.
         path_queries: path-reconstruction requests served.
+        explain_queries: EXPLAIN requests served.
     """
 
     queries: int = 0
@@ -39,6 +40,7 @@ class OracleStats:
     batch_queries: int = 0
     knn_queries: int = 0
     path_queries: int = 0
+    explain_queries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -102,9 +104,14 @@ class DistanceOracle:
 
     def batch(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
         """Distances for many ``(s, t)`` pairs."""
+        self.start_batch()
+        return [self.distance(int(s), int(t)) for s, t in pairs]
+
+    def start_batch(self) -> None:
+        """Count one batch request (for callers that time pairs
+        individually and so call :meth:`distance` themselves)."""
         with self._lock:
             self.stats.batch_queries += 1
-        return [self.distance(int(s), int(t)) for s, t in pairs]
 
     def k_nearest(self, s: int, k: int) -> List[Tuple[int, float]]:
         """The *k* nearest vertices to *s* (exact, via inverted labels)."""
@@ -120,6 +127,17 @@ class DistanceOracle:
         with self._lock:
             self.stats.path_queries += 1
         return self.index.shortest_path(s, t)
+
+    def explain(self, s: int, t: int):
+        """EXPLAIN one query (uncached: the point is the fresh scan).
+
+        Returns:
+            A :class:`~repro.obs.explain.QueryExplanation`; its
+            ``distance`` equals :meth:`distance` exactly.
+        """
+        with self._lock:
+            self.stats.explain_queries += 1
+        return self.index.explain(s, t)
 
     def cache_info(self) -> Tuple[int, int]:
         """``(entries, capacity)`` of the LRU cache."""

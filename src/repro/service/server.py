@@ -8,7 +8,10 @@ Requests::
     {"op": "batch", "pairs": [[0, 1], [2, 3]]}
     {"op": "knn", "s": 3, "k": 5}
     {"op": "path", "s": 3, "t": 42}
+    {"op": "explain", "s": 3, "t": 42}
     {"op": "stats"}
+    {"op": "status"}
+    {"op": "debug"}
     {"op": "metrics"}
     {"op": "ping"}
 
@@ -48,10 +51,12 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs import flightrec as _flightrec
 from repro.obs import trace as _trace
 from repro.obs.instruments import (
     SERVICE_LATENCY,
     SERVICE_MALFORMED,
+    record_batch_pair,
     record_request,
     record_slow_request,
 )
@@ -97,15 +102,25 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
                 continue
             t0 = time.perf_counter()
+            server.enter_request()  # type: ignore[attr-defined]
             try:
                 response = _dispatch(oracle, req, server)
             except ReproError as exc:
                 response = {"ok": False, "error": str(exc)}
             except (ValueError, KeyError, TypeError) as exc:
                 response = {"ok": False, "error": f"bad request: {exc}"}
+            finally:
+                server.exit_request()  # type: ignore[attr-defined]
             elapsed = time.perf_counter() - t0
             op = req.get("op")
-            record_request(op, elapsed, bool(response.get("ok")))
+            # The batch op observes per-pair latencies itself; one
+            # whole-request sample would skew the histogram.
+            record_request(
+                op,
+                elapsed,
+                bool(response.get("ok")),
+                include_latency=(op != "batch"),
+            )
             threshold = server.slow_query_seconds  # type: ignore[attr-defined]
             if threshold is not None and elapsed >= threshold:
                 record_slow_request(op)
@@ -118,6 +133,9 @@ class _Handler(socketserver.StreamRequestHandler):
                     threshold,
                 )
                 _trace.event(
+                    "slow_query", op=op, req_id=req_id, seconds=elapsed
+                )
+                _flightrec.record(
                     "slow_query", op=op, req_id=req_id, seconds=elapsed
                 )
             if "id" in req:
@@ -170,16 +188,16 @@ def _dispatch(
         return {"ok": True, "distance": _encode(d)}
     if op == "batch":
         pairs = [(int(a), int(b)) for a, b in req["pairs"]]
-        return {
-            "ok": True,
-            "distances": [_encode(d) for d in oracle.batch(pairs)],
-        }
+        return _dispatch_batch(oracle, pairs, server)
     if op == "knn":
         out = oracle.k_nearest(int(req["s"]), int(req["k"]))
         return {"ok": True, "neighbors": [[v, d] for v, d in out]}
     if op == "path":
         path = oracle.shortest_path(int(req["s"]), int(req["t"]))
         return {"ok": True, "path": path}
+    if op == "explain":
+        explanation = oracle.explain(int(req["s"]), int(req["t"]))
+        return {"ok": True, "explain": explanation.to_dict()}
     if op == "stats":
         s = oracle.stats
         return {
@@ -194,6 +212,38 @@ def _dispatch(
             "slow_requests": _slow_request_total(),
             "latency_quantiles": _latency_quantiles(),
         }
+    if op == "status":
+        store = oracle.index.store
+        return {
+            "ok": True,
+            "uptime_seconds": (
+                time.monotonic() - server.start_monotonic
+                if server is not None
+                else 0.0
+            ),
+            "index": {
+                "vertices": oracle.num_vertices,
+                "entries": int(store.total_entries),
+                "avg_label_size": float(store.avg_label_size),
+            },
+            "in_flight": server.inflight() if server is not None else 0,
+            "queries": oracle.stats.queries,
+            "slow_requests": _slow_request_total(),
+            "malformed_lines": (
+                server.malformed_count if server is not None else 0
+            ),
+            "latency_quantiles": _latency_quantiles(),
+            "flightrec": _flightrec.get_recorder().snapshot(last=5),
+        }
+    if op == "debug":
+        last = req.get("last")
+        return {
+            "ok": True,
+            "schema": _flightrec.FLIGHTREC_SCHEMA,
+            "flightrec": _flightrec.get_recorder().snapshot(
+                last=int(last) if last is not None else None
+            ),
+        }
     if op == "metrics":
         return {
             "ok": True,
@@ -205,6 +255,45 @@ def _dispatch(
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 
+def _dispatch_batch(
+    oracle: DistanceOracle,
+    pairs: List[Tuple[int, int]],
+    server: Any = None,
+) -> Dict[str, Any]:
+    """Serve one batch request with per-pair latency and a deadline.
+
+    Each pair's latency is observed individually into the service
+    histogram (one whole-request sample would hide slow pairs behind a
+    large batch).  When the server's ``slow_query_seconds`` budget is
+    exhausted mid-batch, the remaining pairs are aborted: the response
+    carries ``ok=false``, the partial ``distances``, and ``completed``
+    so the client can resume.
+    """
+    oracle.start_batch()
+    deadline: Optional[float] = (
+        server.slow_query_seconds if server is not None else None
+    )
+    distances: List[Any] = []
+    start = time.perf_counter()
+    for i, (a, b) in enumerate(pairs):
+        if deadline is not None and i > 0:
+            if time.perf_counter() - start >= deadline:
+                return {
+                    "ok": False,
+                    "error": (
+                        f"batch aborted after {i}/{len(pairs)} pairs: "
+                        f"exceeded slow_query_seconds={deadline}"
+                    ),
+                    "completed": i,
+                    "distances": distances,
+                }
+        p0 = time.perf_counter()
+        d = oracle.distance(a, b)
+        record_batch_pair(time.perf_counter() - p0)
+        distances.append(_encode(d))
+    return {"ok": True, "distances": distances}
+
+
 class _TCPServer(socketserver.ThreadingTCPServer):
     """ThreadingTCPServer with request ids and a malformed-line count."""
 
@@ -214,6 +303,9 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         self._malformed_lock = threading.Lock()
         self._request_ids = itertools.count(1)
         self.slow_query_seconds: Optional[float] = None
+        self.start_monotonic = time.monotonic()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     def next_request_id(self) -> int:
         """A server-unique id for one incoming request line."""
@@ -225,6 +317,21 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         with self._malformed_lock:
             self.malformed_count += 1
         SERVICE_MALFORMED.inc()
+
+    def enter_request(self) -> None:
+        """Mark one request as being dispatched (for ``status``)."""
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def exit_request(self) -> None:
+        """Mark one dispatched request as finished."""
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def inflight(self) -> int:
+        """Requests currently inside ``_dispatch`` (including self)."""
+        with self._inflight_lock:
+            return self._inflight
 
 
 class DistanceServer:
@@ -345,6 +452,33 @@ class DistanceClient:
     def shortest_path(self, s: int, t: int) -> Optional[List[int]]:
         """One shortest path, or ``None`` when unreachable."""
         return self._call({"op": "path", "s": s, "t": t})["path"]
+
+    def explain(self, s: int, t: int) -> Dict[str, Any]:
+        """Server-side EXPLAIN of one query.
+
+        Returns:
+            The ``parapll-explain/1`` document (see
+            :mod:`repro.obs.explain`).
+        """
+        return self._call({"op": "explain", "s": s, "t": t})["explain"]
+
+    def status(self) -> Dict[str, Any]:
+        """Live server introspection: uptime, index shape, in-flight
+        and slow/malformed counts, latency quantiles, and the flight
+        recorder's most recent events."""
+        out = self._call({"op": "status"})
+        out.pop("ok", None)
+        return out
+
+    def debug(self, last: Optional[int] = None) -> Dict[str, Any]:
+        """The server's flight-recorder buffer (newest *last* events,
+        or the whole ring when *last* is ``None``)."""
+        req: Dict[str, Any] = {"op": "debug"}
+        if last is not None:
+            req["last"] = last
+        out = self._call(req)
+        out.pop("ok", None)
+        return out
 
     def stats(self) -> Dict[str, Any]:
         """Server-side request counters."""

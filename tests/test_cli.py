@@ -326,3 +326,131 @@ class TestTimeline:
 
         main(["timeline", "--dataset", "Gnutella", "--scale", "0.1", "--sim"])
         assert obs_config.TRACING is False
+
+
+@pytest.fixture
+def index_file(graph_file, tmp_path):
+    idx = PLLIndex.build(load_graph_npz(graph_file))
+    path = tmp_path / "i.npz"
+    idx.save(path)
+    return str(path)
+
+
+class TestExplain:
+    def test_text_output(self, index_file, capsys):
+        code = main(["explain", "--index", index_file, "3", "17"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN distance(3, 17)" in out
+        assert "labels:" in out
+
+    def test_json_output_matches_query(self, graph_file, index_file, capsys):
+        import json
+        import math
+
+        code = main(["explain", "--index", index_file, "--json", "3", "17"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "parapll-explain/1"
+        index = PLLIndex.load(index_file)
+        expected = index.distance(3, 17)
+        got = math.inf if doc["distance"] == "inf" else doc["distance"]
+        assert got == expected
+
+    def test_trivial_pair(self, index_file, capsys):
+        code = main(["explain", "--index", index_file, "4", "4"])
+        assert code == 0
+        assert "trivial" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_for_duration(self, index_file, capsys):
+        code = main(
+            [
+                "serve",
+                "--index", index_file,
+                "--port", "0",
+                "--duration", "0.0",
+            ]
+        )
+        assert code == 0
+        assert "serving" in capsys.readouterr().out
+
+    def test_serve_needs_a_source(self, capsys):
+        code = main(["serve", "--port", "0"])
+        assert code != 0
+        assert "needs --index" in capsys.readouterr().err
+
+
+class TestFlightrecDump:
+    def test_local_dump_after_build(self, graph_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "flight.jsonl"
+        code = main(
+            [
+                "flightrec", "dump",
+                "--graph", graph_file,
+                "--threads", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "dumped" in capsys.readouterr().out
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == "parapll-flightrec/1"
+        assert header["events"] == len(lines) - 1
+        kinds = {json.loads(x)["kind"] for x in lines[1:]}
+        assert "task_grab" in kinds and "label_commit" in kinds
+
+    def test_remote_dump_from_live_server(self, index_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import flightrec
+        from repro.service.oracle import DistanceOracle
+        from repro.service.server import DistanceServer
+
+        flightrec.get_recorder().clear()
+        flightrec.record("cli_marker", n=1)
+        oracle = DistanceOracle(PLLIndex.load(index_file))
+        out = tmp_path / "remote.jsonl"
+        with DistanceServer(oracle) as server:
+            code = main(
+                [
+                    "flightrec", "dump",
+                    "--port", str(server.port),
+                    "--out", str(out),
+                ]
+            )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["reason"] == "remote-debug"
+        kinds = [json.loads(x)["kind"] for x in lines[1:]]
+        assert "cli_marker" in kinds
+        flightrec.get_recorder().clear()
+
+
+class TestTop:
+    def test_single_frame(self, index_file, capsys):
+        from repro.service.oracle import DistanceOracle
+        from repro.service.server import DistanceServer
+
+        oracle = DistanceOracle(PLLIndex.load(index_file))
+        with DistanceServer(oracle) as server:
+            code = main(
+                [
+                    "top",
+                    "--port", str(server.port),
+                    "--iterations", "1",
+                    "--no-clear",
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parapll top" in out
+        assert "uptime" in out
+        assert "in-flight" in out
+        # --no-clear must not emit terminal escape codes.
+        assert "\x1b[2J" not in out

@@ -1,0 +1,211 @@
+"""Tests for repro.obs.explain: per-query EXPLAIN attribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.index import PLLIndex
+from repro.core.paths import isclose_distance
+from repro.core.query import query_distance
+from repro.errors import GraphError
+from repro.generators.random_graphs import gnm_random_graph
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    HubCandidate,
+    QueryExplanation,
+    explain_query,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = gnm_random_graph(60, 160, seed=11)
+    return PLLIndex.build(graph)
+
+
+class TestExactness:
+    def test_hundred_sampled_pairs_match_query_distance(self, index):
+        """Acceptance: EXPLAIN's distance equals the production query
+        exactly (same floats, same tie-break) on 100 sampled pairs."""
+        rng = np.random.default_rng(123)
+        n = index.num_vertices
+        for _ in range(100):
+            s = int(rng.integers(0, n))
+            t = int(rng.integers(0, n))
+            explanation = index.explain(s, t)
+            assert isclose_distance(
+                index.distance(s, t), explanation.distance, atol=0.0
+            )
+
+    def test_store_level_matches_too(self, index):
+        explanation = explain_query(index.store, 2, 9)
+        assert isclose_distance(
+            query_distance(index.store, 2, 9),
+            explanation.distance,
+            atol=0.0,
+        )
+
+    def test_winner_matches_query_result_hub(self, index):
+        for s, t in [(0, 5), (3, 17), (12, 40)]:
+            res = index.query(s, t)
+            explanation = index.explain(s, t)
+            assert explanation.hub == res.hub
+            assert isclose_distance(
+                res.distance, explanation.distance, atol=0.0
+            )
+
+
+class TestRoles:
+    def test_exactly_one_winner(self, index):
+        explanation = index.explain(1, 30)
+        winners = [c for c in explanation.candidates if c.role == "winner"]
+        assert len(winners) == 1
+        assert winners[0].hub_rank == explanation.hub_rank
+
+    def test_winner_has_lowest_rank_among_ties(self, index):
+        """Strict < tie-break: the minimal-total hub with lowest rank."""
+        for s, t in [(0, 7), (4, 22), (9, 51)]:
+            explanation = index.explain(s, t)
+            if not explanation.candidates:
+                continue
+            optimal = [
+                c
+                for c in explanation.candidates
+                if c.role in ("winner", "redundant")
+            ]
+            assert min(c.hub_rank for c in optimal) == explanation.hub_rank
+
+    def test_redundant_ties_winner_dominated_is_worse(self, index):
+        explanation = index.explain(3, 17)
+        best = explanation.distance
+        for c in explanation.candidates:
+            if c.role == "redundant":
+                assert isclose_distance(c.total, best)
+                assert c.slack == 0.0
+            elif c.role == "dominated":
+                assert c.total > best
+                assert c.slack > 0.0
+            else:
+                assert c.role == "winner"
+                assert c.slack == 0.0
+
+    def test_candidates_sorted_by_hub_rank(self, index):
+        explanation = index.explain(5, 44)
+        ranks = [c.hub_rank for c in explanation.candidates]
+        assert ranks == sorted(ranks)
+
+
+class TestEdgeCases:
+    def test_source_equals_target(self, index):
+        explanation = index.explain(6, 6)
+        assert explanation.distance == 0.0
+        assert explanation.candidates == []
+        assert explanation.hub is None
+        assert explanation.reachable
+
+    def test_unreachable(self, two_components):
+        index = PLLIndex.build(two_components)
+        explanation = index.explain(0, 3)
+        assert explanation.distance == math.inf
+        assert not explanation.reachable
+        assert explanation.candidates == []
+        assert explanation.hub is None
+
+    def test_out_of_range_vertex_rejected(self, index):
+        with pytest.raises(GraphError):
+            index.explain(0, index.num_vertices + 5)
+
+    def test_no_order_leaves_hub_ids_none(self, index):
+        explanation = explain_query(index.store, 0, 9)
+        if explanation.candidates:
+            assert all(c.hub is None for c in explanation.candidates)
+            assert explanation.hub is None
+            assert explanation.hub_rank is not None
+
+
+class TestSerialization:
+    def test_to_dict_schema(self, index):
+        doc = index.explain(3, 17).to_dict()
+        assert doc["schema"] == EXPLAIN_SCHEMA
+        assert set(doc) == {
+            "schema",
+            "s",
+            "t",
+            "distance",
+            "reachable",
+            "hub",
+            "hub_rank",
+            "candidates",
+            "labels",
+        }
+        assert set(doc["labels"]) == {
+            "s_size",
+            "t_size",
+            "s_scanned",
+            "t_scanned",
+        }
+        for cand in doc["candidates"]:
+            assert set(cand) == {
+                "hub_rank",
+                "hub",
+                "d_s",
+                "d_t",
+                "total",
+                "role",
+                "slack",
+            }
+
+    def test_unreachable_encodes_inf_as_string(self, two_components):
+        index = PLLIndex.build(two_components)
+        doc = index.explain(0, 3).to_dict()
+        assert doc["distance"] == "inf"
+        assert doc["reachable"] is False
+
+    def test_json_safe(self, index):
+        import json
+
+        text = json.dumps(index.explain(3, 17).to_dict())
+        assert json.loads(text)["schema"] == EXPLAIN_SCHEMA
+
+    def test_label_scan_costs_bounded_by_label_sizes(self, index):
+        explanation = index.explain(2, 33)
+        assert 0 <= explanation.scanned_s <= explanation.label_size_s
+        assert 0 <= explanation.scanned_t <= explanation.label_size_t
+
+
+class TestRender:
+    def test_render_reachable(self, index):
+        text = index.explain(3, 17).render()
+        assert text.startswith("EXPLAIN distance(3, 17)")
+        assert "winner" in text
+        assert "labels:" in text
+
+    def test_render_trivial(self, index):
+        text = index.explain(4, 4).render()
+        assert "trivial query" in text
+
+    def test_render_unreachable(self, two_components):
+        index = PLLIndex.build(two_components)
+        text = index.explain(0, 3).render()
+        assert "unreachable" in text
+        assert "no common hub" in text
+
+    def test_hub_candidate_dataclass_frozen(self):
+        c = HubCandidate(
+            hub_rank=0,
+            hub=1,
+            d_s=1.0,
+            d_t=2.0,
+            total=3.0,
+            role="winner",
+            slack=0.0,
+        )
+        with pytest.raises(AttributeError):
+            c.total = 4.0
+
+    def test_explanation_is_frozen(self, index):
+        explanation = index.explain(0, 1)
+        assert isinstance(explanation, QueryExplanation)
+        with pytest.raises(AttributeError):
+            explanation.distance = 1.0

@@ -308,3 +308,20 @@ class TestCheckedInBaseline:
     def test_baseline_self_compare_passes(self, baseline_path):
         doc = read_bench(baseline_path)
         assert compare(doc, doc).ok
+
+
+class TestExplainOverheadWorkload:
+    def test_workload_registered(self):
+        names = [w.name for w in default_workloads()]
+        assert "explain_overhead" in names
+
+    def test_explain_matches_every_pair(self, suite_doc):
+        metrics = suite_doc["workloads"]["explain_overhead"]["metrics"]
+        assert metrics["explain_matches"]["median"] == metrics["pairs"]["median"]
+        assert metrics["pairs"]["median"] == 100.0
+
+    def test_counters_exact_kind(self, suite_doc):
+        metrics = suite_doc["workloads"]["explain_overhead"]["metrics"]
+        assert metrics["explain_matches"]["kind"] == "counter"
+        assert metrics["plain_query_seconds"]["kind"] == "time"
+        assert metrics["explain_seconds"]["kind"] == "time"

@@ -358,3 +358,186 @@ class TestRequestIdsAndSlowLog:
         entry = quantiles["distance"]
         assert set(entry) == {"p50", "p95", "p99"}
         assert entry["p50"] <= entry["p95"] <= entry["p99"]
+
+
+class TestIntrospectionOps:
+    @pytest.fixture()
+    def server(self, index):
+        from repro import obs
+
+        obs.reset()
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as srv:
+            yield srv
+        obs.reset()
+
+    def test_explain_op_round_trip(self, index, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            doc = client.explain(3, 17)
+            assert doc["schema"] == "parapll-explain/1"
+            assert doc["s"] == 3 and doc["t"] == 17
+            assert doc["distance"] == index.distance(3, 17)
+            roles = {c["role"] for c in doc["candidates"]}
+            assert "winner" in roles
+
+    def test_explain_op_counts_in_oracle_stats(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as srv:
+            with DistanceClient("127.0.0.1", srv.port) as client:
+                client.explain(0, 1)
+                client.explain(0, 2)
+        assert oracle.stats.explain_queries == 2
+        # EXPLAIN runs uncached; plain query counters are untouched.
+        assert oracle.stats.queries == 0
+
+    def test_explain_unreachable_encoding(self, two_components):
+        oracle = DistanceOracle(PLLIndex.build(two_components))
+        with DistanceServer(oracle) as srv:
+            with DistanceClient("127.0.0.1", srv.port) as client:
+                doc = client.explain(0, 3)
+        assert doc["distance"] == "inf"
+        assert doc["reachable"] is False
+
+    def test_status_op_fields(self, index, server):
+        with DistanceClient("127.0.0.1", server.port) as client:
+            client.distance(0, 1)
+            status = client.status()
+        assert status["uptime_seconds"] >= 0.0
+        assert status["index"]["vertices"] == index.num_vertices
+        assert status["index"]["entries"] > 0
+        assert status["index"]["avg_label_size"] > 0
+        # The status request itself is counted while being served.
+        assert status["in_flight"] >= 1
+        assert status["queries"] >= 1
+        assert status["malformed_lines"] == 0
+        assert "latency_quantiles" in status
+        assert isinstance(status["flightrec"], list)
+
+    def test_debug_op_returns_flightrec_tail(self, server):
+        from repro.obs import flightrec
+
+        flightrec.get_recorder().clear()
+        flightrec.record("marker_one", n=1)
+        flightrec.record("marker_two", n=2)
+        with DistanceClient("127.0.0.1", server.port) as client:
+            doc = client.debug()
+            assert doc["schema"] == "parapll-flightrec/1"
+            kinds = [e["kind"] for e in doc["flightrec"]]
+            assert "marker_one" in kinds and "marker_two" in kinds
+            newest = client.debug(last=1)["flightrec"]
+            assert len(newest) == 1
+            assert newest[0]["kind"] == "marker_two"
+
+
+class TestBatchLatencyAndDeadline:
+    def test_batch_records_per_pair_latency(self, index):
+        from repro import obs
+
+        obs.reset()
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                client.batch([(0, 1), (2, 3), (4, 5)])
+        snapshot = obs.get_registry().snapshot()
+        by_name = {m["name"]: m for m in snapshot}
+        latency = by_name["parapll_service_request_seconds"]
+        batch_lat = [
+            s for s in latency["series"] if s["labels"] == {"op": "batch"}
+        ]
+        # One histogram sample per pair, not one per request.
+        assert batch_lat and batch_lat[0]["value"]["count"] == 3
+        requests = by_name["parapll_service_requests_total"]
+        batch_req = [
+            s for s in requests["series"] if s["labels"] == {"op": "batch"}
+        ]
+        assert batch_req and batch_req[0]["value"] == 1
+
+    def test_batch_deadline_aborts_with_partial_results(self, index):
+        import json as _json
+        import socket
+
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, slow_query_seconds=0.0) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as sock:
+                f = sock.makefile("rwb")
+                req = {"op": "batch", "pairs": [[0, 1], [2, 3], [4, 5]]}
+                f.write(_json.dumps(req).encode() + b"\n")
+                f.flush()
+                reply = _json.loads(f.readline())
+        assert reply["ok"] is False
+        # At least the first pair is always served.
+        assert reply["completed"] == 1
+        assert len(reply["distances"]) == 1
+        assert "slow_query_seconds" in reply["error"]
+
+    def test_batch_deadline_raises_client_side(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, slow_query_seconds=0.0) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                with pytest.raises(ReproError):
+                    client.batch([(0, 1), (2, 3)])
+
+    def test_no_deadline_serves_whole_batch(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, slow_query_seconds=None) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                out = client.batch([(0, 1), (2, 3), (4, 5)])
+        assert len(out) == 3
+
+
+class TestConcurrentIntrospection:
+    def test_hammer_status_ops_during_batches(self, index):
+        """Introspection ops stay consistent while batches are in
+        flight: every connection sees strictly increasing req_ids and
+        nothing is miscounted as malformed."""
+        from repro import obs
+
+        obs.reset()
+        oracle = DistanceOracle(index)
+        n = index.num_vertices
+        pairs = [(i % n, (i * 7 + 1) % n) for i in range(50)]
+        errors = []
+
+        with DistanceServer(oracle) as server:
+
+            def batch_worker():
+                try:
+                    with DistanceClient("127.0.0.1", server.port) as c:
+                        for _ in range(5):
+                            c.batch(pairs)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            def introspect_worker():
+                try:
+                    with DistanceClient("127.0.0.1", server.port) as c:
+                        req_ids = []
+                        for _ in range(10):
+                            req_ids.append(
+                                c._call({"op": "status"})["req_id"]
+                            )
+                            c.stats()
+                            c.metrics()
+                        assert req_ids == sorted(req_ids)
+                        assert len(set(req_ids)) == len(req_ids)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=batch_worker) for _ in range(2)
+            ] + [
+                threading.Thread(target=introspect_worker)
+                for _ in range(3)
+            ]
+            for th in workers:
+                th.start()
+            for th in workers:
+                th.join()
+
+            assert not errors
+            with DistanceClient("127.0.0.1", server.port) as client:
+                status = client.status()
+        assert status["malformed_lines"] == 0
+        obs.reset()

@@ -285,3 +285,85 @@ class TestCriticalPath:
                 1.0
             )
         assert 0 < report.chain_coverage <= 1.0 + 1e-9
+
+
+def _comm_event(name, ts, flow, flow_id, thread, span_id, **attrs):
+    attrs = dict(attrs, flow=flow, flow_id=flow_id)
+    return TraceRecord(
+        name=name,
+        kind="event",
+        ts=ts,
+        dur=None,
+        span_id=span_id,
+        parent_id=None,
+        thread=thread,
+        attrs=attrs,
+    )
+
+
+class TestFlowEvents:
+    def _paired_records(self):
+        return [
+            _comm_event(
+                "comm_send", 1.0, "out", "f1-1", "rank-0", 10,
+                src=0, dest=1,
+            ),
+            _comm_event(
+                "comm_recv", 1.5, "in", "f1-1", "rank-1", 11,
+                src=0, dest=1,
+            ),
+        ]
+
+    def test_matched_pair_becomes_flow_arrow(self):
+        doc = chrome_trace(self._paired_records())
+        starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+        finishes = [e for e in doc["traceEvents"] if e.get("ph") == "f"]
+        assert len(starts) == 1 and len(finishes) == 1
+        s, f = starts[0], finishes[0]
+        assert s["id"] == f["id"] == "f1-1>11"
+        assert s["cat"] == f["cat"] == "comm"
+        assert f["bp"] == "e"
+        assert f["ts"] >= s["ts"]
+        assert s["args"]["flow_id"] == "f1-1"
+
+    def test_flow_start_anchored_at_sender_lane(self):
+        doc = chrome_trace(self._paired_records())
+        sends = [
+            e
+            for e in doc["traceEvents"]
+            if e["name"] == "comm_send" and e["ph"] == "i"
+        ]
+        starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+        assert starts[0]["pid"] == sends[0]["pid"]
+        assert starts[0]["tid"] == sends[0]["tid"]
+
+    def test_orphan_recv_emits_no_arrow(self):
+        records = [
+            _comm_event(
+                "comm_recv", 2.0, "in", "f9-9", "rank-1", 7,
+                src=0, dest=1,
+            )
+        ]
+        doc = chrome_trace(records)
+        assert not [
+            e for e in doc["traceEvents"] if e.get("ph") in ("s", "f")
+        ]
+
+    def test_broadcast_fanout_gets_unique_edge_ids(self):
+        records = [
+            _comm_event(
+                "comm_send", 1.0, "out", "f2-1", "rank-0", 20,
+                src=0, dest=None,
+            ),
+            _comm_event(
+                "comm_recv", 1.2, "in", "f2-1", "rank-1", 21,
+                src=0, dest=1,
+            ),
+            _comm_event(
+                "comm_recv", 1.3, "in", "f2-1", "rank-2", 22,
+                src=0, dest=2,
+            ),
+        ]
+        doc = chrome_trace(records)
+        starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+        assert {e["id"] for e in starts} == {"f2-1>21", "f2-1>22"}
