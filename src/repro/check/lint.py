@@ -35,6 +35,11 @@ Rule catalogue (see DESIGN.md §9 for the rationale of each):
   (``config`` / ``instruments`` / ``trace`` / ``timers``), low layers
   never import high layers, and runtime code may import from
   ``repro.check`` only the dependency-free :mod:`repro.check.hooks`.
+* **PC006 label internals** — the flat CSR finalized representation
+  (``_finalized_indptr`` / ``_finalized_hubs`` / ``_finalized_dists``)
+  is private to :mod:`repro.core.labels`; every other module reads
+  labels through ``finalized_hubs()`` / ``finalized_dists()`` /
+  ``finalized_arrays()``.
 
 Suppression happens at two levels: an inline ``# lint-ok: PC002``
 pragma on the flagged line, and the checked-in suppression file
@@ -772,6 +777,62 @@ class ImportLayeringRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# PC006 — flat CSR label internals are private to labels.py
+# ----------------------------------------------------------------------
+#: The finalized-representation slots of LabelStore.  Everything else
+#: must go through the public accessors, so the layout can keep
+#: evolving (and so frozen/mmap stores keep working) without a
+#: repo-wide audit.
+_LABEL_INTERNALS = {
+    "_finalized_indptr",
+    "_finalized_hubs",
+    "_finalized_dists",
+}
+
+#: The one module that owns the finalized representation.
+_LABELS_MODULE = "repro.core.labels"
+
+
+class LabelInternalsRule(Rule):
+    """PC006: no direct access to LabelStore's finalized internals.
+
+    The flat CSR triple behind ``_finalized_indptr`` /
+    ``_finalized_hubs`` / ``_finalized_dists`` is an implementation
+    detail of :mod:`repro.core.labels`.  Readers use
+    ``finalized_hubs(v)`` / ``finalized_dists(v)`` (zero-copy slices)
+    or ``finalized_arrays()`` (the whole triple); reaching into the
+    slots from outside couples callers to the layout and breaks on
+    frozen/memory-mapped stores.
+    """
+
+    id = "PC006"
+    title = "label-internals"
+    hint = (
+        "use LabelStore.finalized_hubs()/finalized_dists() for "
+        "per-vertex slices or finalized_arrays() for the flat CSR "
+        "triple; the _finalized_* slots belong to repro.core.labels"
+    )
+    scope = ("repro",)
+
+    def applies_to(self, module: str) -> bool:
+        if module == _LABELS_MODULE:
+            return False
+        return super().applies_to(module)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _LABEL_INTERNALS
+            ):
+                yield self.violation(
+                    ctx, node,
+                    f"direct access to LabelStore.{node.attr} outside "
+                    f"{_LABELS_MODULE}",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _RULES: List[Rule] = [
@@ -780,6 +841,7 @@ _RULES: List[Rule] = [
     FloatEqualityRule(),
     ExceptionHygieneRule(),
     ImportLayeringRule(),
+    LabelInternalsRule(),
 ]
 
 

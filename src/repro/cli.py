@@ -78,8 +78,13 @@ def _cmd_index(args: argparse.Namespace) -> int:
         index = PLLIndex(store, order, graph=graph, stats=stats)
     else:
         index = PLLIndex.build(graph)
-    out = args.out or (args.graph.rsplit(".", 1)[0] + ".index.npz")
-    index.save(out)
+    if args.out:
+        out = args.out
+    elif args.format == "dir":
+        out = args.graph.rsplit(".", 1)[0] + ".index"
+    else:
+        out = args.graph.rsplit(".", 1)[0] + ".index.npz"
+    index.save(out, format=args.format)
     stats = index.stats
     secs = f"{stats.build_seconds:.2f}s" if stats else "?"
     print(
@@ -91,7 +96,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph) if args.graph else None
-    index = PLLIndex.load(args.index, graph=graph)
+    index = PLLIndex.load(args.index, graph=graph, mmap=args.mmap)
+    if args.pairs:
+        pairs = _read_pairs(args.pairs)
+        for (s, t), d in zip(pairs, index.distance_batch(pairs)):
+            print(f"{s} {t} {float(d)}")
+        return 0
+    if args.source is None or args.target is None:
+        raise ReproError("query needs SOURCE and TARGET (or --pairs FILE)")
     result = index.query(args.source, args.target)
     if result.reachable:
         via = f" via hub {result.hub}" if result.hub is not None else ""
@@ -101,11 +113,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_pairs(path: str) -> list:
+    """Parse a pairs file: one ``s t`` pair of vertex ids per line."""
+    pairs = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise ReproError(
+                    f"{path}:{lineno}: expected 's t', got {line!r}"
+                )
+            pairs.append((int(fields[0]), int(fields[1])))
+    return pairs
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     import json as _json
 
     graph = _load_graph(args.graph) if args.graph else None
-    index = PLLIndex.load(args.index, graph=graph)
+    index = PLLIndex.load(args.index, graph=graph, mmap=args.mmap)
     explanation = index.explain(args.source, args.target)
     if args.json:
         print(_json.dumps(explanation.to_dict(), indent=2))
@@ -123,7 +152,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph) if args.graph else None
     if args.index:
-        index = PLLIndex.load(args.index, graph=graph)
+        index = PLLIndex.load(args.index, graph=graph, mmap=args.mmap)
     elif graph is not None:
         index = PLLIndex.build(graph)
     else:
@@ -233,7 +262,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    index = PLLIndex.load(args.index)
+    index = PLLIndex.load(args.index, mmap=args.mmap)
     sizes = index.store.label_sizes()
     summary = label_size_summary(sizes)
     print(f"vertices:      {index.num_vertices}")
@@ -521,13 +550,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dijkstra = weighted (default); bfs = unweighted hop counts",
     )
     i.add_argument("--out", default=None)
+    i.add_argument(
+        "--format",
+        choices=("npz", "dir"),
+        default="npz",
+        help="npz = one compressed archive (default); dir = raw .npy "
+        "bundle that query/serve can memory-map with --mmap",
+    )
     i.set_defaults(func=_cmd_index)
 
     q = sub.add_parser("query", help="query a distance from a saved index")
     q.add_argument("--index", required=True)
     q.add_argument("--graph", default=None)
-    q.add_argument("source", type=int)
-    q.add_argument("target", type=int)
+    q.add_argument(
+        "--pairs", default=None,
+        help="file of 's t' pairs (one per line): answer all of them "
+        "with the vectorised batch kernel",
+    )
+    q.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the label arrays (dir-bundle indexes only)",
+    )
+    q.add_argument("source", type=int, nargs="?", default=None)
+    q.add_argument("target", type=int, nargs="?", default=None)
     q.set_defaults(func=_cmd_query)
 
     e = sub.add_parser(
@@ -540,18 +585,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the parapll-explain/1 JSON document",
     )
+    e.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the label arrays (dir-bundle indexes only)",
+    )
     e.add_argument("source", type=int)
     e.add_argument("target", type=int)
     e.set_defaults(func=_cmd_explain)
 
     s = sub.add_parser("stats", help="summarise a saved index")
     s.add_argument("--index", required=True)
+    s.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the label arrays (dir-bundle indexes only)",
+    )
     s.set_defaults(func=_cmd_stats)
 
     sv = sub.add_parser(
         "serve", help="serve an index over line-JSON TCP"
     )
     sv.add_argument("--index", default=None, help="saved index (.npz)")
+    sv.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the label arrays (dir-bundle indexes only)",
+    )
     sv.add_argument(
         "--graph", default=None,
         help="graph file (index is built fresh when no --index is given)",

@@ -15,7 +15,11 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.core.labels import LabelStore
-from repro.core.query import query_distance, query_result
+from repro.core.query import (
+    query_distance,
+    query_distance_batch,
+    query_result,
+)
 from repro.core.serial import build_serial
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
@@ -126,10 +130,27 @@ class PLLIndex:
 
         return explain_query(self.store, s, t, order=self.order)
 
+    def distance_batch(self, pairs) -> np.ndarray:
+        """Distances for an ``(m, 2)`` array of ``(s, t)`` pairs.
+
+        One vectorised merge join over the flat label arrays
+        (:func:`~repro.core.query.query_distance_batch`); bit-identical
+        to calling :meth:`distance` per pair, much faster for large
+        batches.
+
+        Returns:
+            float64 array of length *m*; ``inf`` for unreachable pairs.
+        """
+        return query_distance_batch(self.store, pairs)
+
     def distances_from(self, s: int, targets: Sequence[int]) -> list[float]:
         """Batch distances from *s* to each vertex in *targets*."""
         self._check_vertex(s)
-        return [self.distance(s, int(t)) for t in targets]
+        targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+        pairs = np.empty((len(targets), 2), dtype=np.int64)
+        pairs[:, 0] = s
+        pairs[:, 1] = targets
+        return [float(d) for d in self.distance_batch(pairs)]
 
     def shortest_path(self, s: int, t: int) -> Optional[list[int]]:
         """One shortest path ``[s, ..., t]`` (``None`` if unreachable).
@@ -160,31 +181,98 @@ class PLLIndex:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike) -> None:
-        """Serialise the index (labels + ordering) to an ``.npz`` file."""
+    def save(self, path: str | os.PathLike, format: str = "npz") -> None:
+        """Serialise the index (labels + ordering).
+
+        Args:
+            path: target ``.npz`` file (``format="npz"``) or directory
+                (``format="dir"``).
+            format: ``"npz"`` writes one compressed archive;
+                ``"dir"`` writes a directory bundle of raw ``.npy``
+                members, which :meth:`load` can memory-map.
+        """
         arrays = self.store.to_arrays()
-        np.savez_compressed(
-            path,
-            order=self.order,
-            label_indptr=arrays["indptr"],
-            label_hubs=arrays["hubs"],
-            label_dists=arrays["dists"],
-        )
+        members = {
+            "order": self.order,
+            "label_indptr": arrays["indptr"],
+            "label_hubs": arrays["hubs"],
+            "label_dists": arrays["dists"],
+        }
+        if format == "npz":
+            np.savez_compressed(path, **members)
+        elif format == "dir":
+            path = os.fspath(path)
+            os.makedirs(path, exist_ok=True)
+            for name, arr in members.items():
+                np.save(os.path.join(path, name + ".npy"), arr)
+        else:
+            raise GraphError(
+                f"unknown index format {format!r} (expected 'npz' or 'dir')"
+            )
 
     @classmethod
     def load(
-        cls, path: str | os.PathLike, graph: Optional[CSRGraph] = None
+        cls,
+        path: str | os.PathLike,
+        graph: Optional[CSRGraph] = None,
+        mmap: bool = False,
     ) -> "PLLIndex":
         """Load an index saved with :meth:`save`.
 
+        The label arrays are adopted directly — no Python-list
+        round-trip and no re-finalization — after structural validation
+        (monotone indptr, sorted in-range hub runs, ``order`` a
+        permutation).
+
         Args:
-            path: the ``.npz`` file.
+            path: the ``.npz`` file or directory bundle.
             graph: optionally re-attach the graph for validation helpers.
+            mmap: memory-map the label arrays instead of reading them
+                into RAM.  Only directory bundles (``save(...,
+                format="dir")``) support this; ``.npz`` archives are
+                decompressed on read, so numpy cannot map them.
+
+        Raises:
+            GraphError: for unreadable or structurally corrupt files.
         """
-        with np.load(path) as data:
-            order = data["order"]
-            store = LabelStore.from_arrays(
-                data["label_indptr"], data["label_hubs"], data["label_dists"]
+        path = os.fspath(path)
+        members = ("order", "label_indptr", "label_hubs", "label_dists")
+        try:
+            if os.path.isdir(path):
+                mode = "r" if mmap else None
+                arrays = {
+                    name: np.load(
+                        os.path.join(path, name + ".npy"), mmap_mode=mode
+                    )
+                    for name in members
+                }
+            else:
+                if mmap:
+                    raise GraphError(
+                        ".npz archives cannot be memory-mapped; save "
+                        "with format='dir' to load with mmap=True"
+                    )
+                with np.load(path) as data:
+                    arrays = {name: data[name] for name in members}
+        except GraphError:
+            raise
+        except Exception as exc:
+            raise GraphError(
+                f"cannot load index from {path!r}: {exc}"
+            ) from exc
+        store = LabelStore.from_arrays(
+            arrays["label_indptr"],
+            arrays["label_hubs"],
+            arrays["label_dists"],
+        )
+        order = np.asarray(arrays["order"], dtype=np.int64).reshape(-1)
+        n = store.n
+        if len(order) != n or not np.array_equal(
+            np.sort(order), np.arange(n, dtype=np.int64)
+        ):
+            raise GraphError(
+                f"index order must be a permutation of 0..{n - 1}, "
+                f"got {len(order)} entries"
             )
         return cls(store, order, graph=graph)
 

@@ -6,24 +6,124 @@ their position in the vertex ordering — because the pruning query is a
 dense array lookup keyed by rank, and because rank order is the natural
 sort order for the merge-join query.
 
-Layout: two parallel Python lists per vertex (``_hubs[v]``,
-``_dists[v]``).  Plain lists beat numpy here: entries arrive one at a
-time from a pure-Python search loop, and the pruning query iterates a
-few dozen entries per probe — exactly the regime where native lists win
-(see the HPC optimisation guide on scalar numpy overhead).
-:meth:`LabelStore.finalize` converts to sorted numpy arrays for the
-query stage and for serialisation.
+Two layouts, one per lifecycle phase:
+
+* **Mutable phase** — two parallel Python lists per vertex
+  (``_hubs[v]``, ``_dists[v]``).  Plain lists beat numpy here: entries
+  arrive one at a time from a pure-Python search loop, and the pruning
+  query iterates a few dozen entries per probe — exactly the regime
+  where native lists win (see the HPC optimisation guide on scalar
+  numpy overhead).
+* **Finalized phase** — one flat CSR triple (``indptr: int64[n+1]``,
+  ``hubs: int64[E]``, ``dists: float64[E]``), built once by
+  :meth:`finalize`.  :meth:`finalized_hubs` / :meth:`finalized_dists`
+  are zero-copy slices into the flat arrays, :meth:`to_arrays` is a
+  near-no-op, and :meth:`from_arrays` *adopts* arrays directly (no
+  Python-list round-trip), which is what makes :meth:`PLLIndex.load
+  <repro.core.index.PLLIndex.load>` O(1) instead of O(E).
+
+A store built by :meth:`from_arrays` is *frozen*: it has no mutable
+lists until the first mutation, which thaws it (one O(E) expansion).
+Read accessors work directly off the CSR arrays while frozen.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import GraphError, NotIndexedError
 
 __all__ = ["LabelStore"]
+
+
+def _sort_dedup_flat(
+    n: int,
+    hub_lists: Sequence[Sequence[int]],
+    dist_lists: Sequence[Sequence[float]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-vertex label lists into a sorted, deduplicated CSR triple.
+
+    Entries are sorted by (vertex, hub rank, distance) in one global
+    ``lexsort``; duplicated (vertex, hub) pairs — which arise from
+    delayed synchronisation — keep the smallest distance, which by
+    construction is the true distance (every stored distance for the
+    same pair comes from an exact Dijkstra run from the hub).
+    """
+    sizes = np.fromiter((len(h) for h in hub_lists), dtype=np.int64, count=n)
+    total = int(sizes.sum())
+    hubs = np.empty(total, dtype=np.int64)
+    dists = np.empty(total, dtype=np.float64)
+    pos = 0
+    for v in range(n):
+        k = int(sizes[v])
+        if k:
+            hubs[pos:pos + k] = hub_lists[v]
+            # The lock-free writer appends the distance before the hub,
+            # so the dist list may momentarily run one entry long; the
+            # first k entries are the committed ones.
+            dists[pos:pos + k] = dist_lists[v][:k]
+            pos += k
+    owner = np.repeat(np.arange(n, dtype=np.int64), sizes)
+    if total:
+        order = np.lexsort((dists, hubs, owner))
+        hubs = hubs[order]
+        dists = dists[order]
+        owner = owner[order]
+        keep = np.empty(total, dtype=bool)
+        keep[0] = True
+        keep[1:] = (hubs[1:] != hubs[:-1]) | (owner[1:] != owner[:-1])
+        hubs = hubs[keep]
+        dists = dists[keep]
+        owner = owner[keep]
+    counts = np.bincount(owner, minlength=n) if total else np.zeros(
+        n, dtype=np.int64
+    )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, hubs, dists
+
+
+def _validate_csr(
+    indptr: np.ndarray, hubs: np.ndarray, dists: np.ndarray
+) -> None:
+    """Reject structurally corrupt CSR label arrays.
+
+    Raises:
+        GraphError: naming the first offending vertex, for decreasing
+            ``indptr`` runs, out-of-range hub ranks, or per-vertex hub
+            runs that are not strictly increasing (unsorted or
+            duplicated hubs).
+    """
+    n = len(indptr) - 1
+    diffs = np.diff(indptr)
+    bad = np.flatnonzero(diffs < 0)
+    if bad.size:
+        raise GraphError(
+            f"label indptr decreases at vertex {int(bad[0])} "
+            f"({int(indptr[bad[0]])} -> {int(indptr[bad[0] + 1])})"
+        )
+    num_entries = len(hubs)
+    if num_entries == 0:
+        return
+    if int(hubs.min()) < 0 or int(hubs.max()) >= n:
+        pos = int(np.flatnonzero((hubs < 0) | (hubs >= n))[0])
+        v = int(np.searchsorted(indptr, pos, side="right") - 1)
+        raise GraphError(
+            f"hub rank {int(hubs[pos])} out of range [0, {n}) in L({v})"
+        )
+    run_start = np.zeros(num_entries, dtype=bool)
+    starts = indptr[:-1]
+    run_start[starts[starts < num_entries]] = True
+    bad = np.flatnonzero(~run_start[1:] & (hubs[1:] <= hubs[:-1]))
+    if bad.size:
+        pos = int(bad[0]) + 1
+        v = int(np.searchsorted(indptr, pos, side="right") - 1)
+        kind = (
+            "duplicated" if int(hubs[pos]) == int(hubs[pos - 1]) else "unsorted"
+        )
+        raise GraphError(f"label hubs of vertex {v} are {kind}")
 
 
 class LabelStore:
@@ -35,19 +135,59 @@ class LabelStore:
     The store starts empty (the paper's ``L_0``).  Builders append with
     :meth:`add` or :meth:`add_delta`; the pruning query reads through
     :meth:`hubs_of` / :meth:`dists_of`; :meth:`finalize` freezes the
-    store into numpy form.
+    store into the flat CSR form.
     """
 
-    __slots__ = ("n", "_hubs", "_dists", "_finalized_hubs", "_finalized_dists")
+    __slots__ = (
+        "n",
+        "_hubs",
+        "_dists",
+        "_finalized_indptr",
+        "_finalized_hubs",
+        "_finalized_dists",
+    )
 
     def __init__(self, n: int) -> None:
         if n < 0:
             raise GraphError("label store size must be non-negative")
         self.n = n
-        self._hubs: List[List[int]] = [[] for _ in range(n)]
-        self._dists: List[List[float]] = [[] for _ in range(n)]
-        self._finalized_hubs: List[np.ndarray] | None = None
-        self._finalized_dists: List[np.ndarray] | None = None
+        self._hubs: Optional[List[List[int]]] = [[] for _ in range(n)]
+        self._dists: Optional[List[List[float]]] = [[] for _ in range(n)]
+        self._finalized_indptr: Optional[np.ndarray] = None
+        self._finalized_hubs: Optional[np.ndarray] = None
+        self._finalized_dists: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Frozen-store support
+    # ------------------------------------------------------------------
+    @property
+    def _frozen(self) -> bool:
+        """True for an adopted store with no mutable lists yet."""
+        return self._hubs is None
+
+    def _thaw(self) -> None:
+        """Materialise the mutable lists from the CSR arrays (once)."""
+        if self._hubs is not None:
+            return
+        assert self._finalized_indptr is not None
+        assert self._finalized_hubs is not None
+        assert self._finalized_dists is not None
+        indptr = self._finalized_indptr
+        hubs = self._finalized_hubs
+        dists = self._finalized_dists
+        self._hubs = [
+            hubs[int(indptr[v]):int(indptr[v + 1])].tolist()
+            for v in range(self.n)
+        ]
+        self._dists = [
+            dists[int(indptr[v]):int(indptr[v + 1])].tolist()
+            for v in range(self.n)
+        ]
+
+    def _invalidate(self) -> None:
+        self._finalized_indptr = None
+        self._finalized_hubs = None
+        self._finalized_dists = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -61,10 +201,11 @@ class LabelStore:
         visible hub has its distance in place (CPython list appends are
         atomic under the GIL).
         """
+        if self._hubs is None:
+            self._thaw()
         self._dists[v].append(dist)
         self._hubs[v].append(hub_rank)
-        self._finalized_hubs = None
-        self._finalized_dists = None
+        self._invalidate()
 
     def add_delta(self, delta: Iterable[Tuple[int, int, float]]) -> int:
         """Bulk-append ``(v, hub_rank, dist)`` triples; returns the count.
@@ -73,6 +214,8 @@ class LabelStore:
         synchronisation); queries take a min so duplicates are harmless,
         and :meth:`finalize` deduplicates keeping the smallest distance.
         """
+        if self._hubs is None:
+            self._thaw()
         hubs, dists = self._hubs, self._dists
         count = 0
         for v, h, d in delta:
@@ -80,37 +223,57 @@ class LabelStore:
             hubs[v].append(h)
             count += 1
         if count:
-            self._finalized_hubs = None
-            self._finalized_dists = None
+            self._invalidate()
         return count
 
     # ------------------------------------------------------------------
     # Read access (pruning path)
     # ------------------------------------------------------------------
-    def hubs_of(self, v: int) -> List[int]:
-        """Hub ranks of ``L(v)`` (live list — do not mutate)."""
-        return self._hubs[v]
+    def hubs_of(self, v: int) -> Sequence[int]:
+        """Hub ranks of ``L(v)`` (live list — do not mutate).
 
-    def dists_of(self, v: int) -> List[float]:
+        On a frozen (loaded) store this is a zero-copy CSR slice.
+        """
+        if self._hubs is not None:
+            return self._hubs[v]
+        return self.finalized_hubs(v)
+
+    def dists_of(self, v: int) -> Sequence[float]:
         """Distances of ``L(v)``, parallel to :meth:`hubs_of`."""
-        return self._dists[v]
+        if self._dists is not None:
+            return self._dists[v]
+        return self.finalized_dists(v)
 
     def entries_of(self, v: int) -> List[Tuple[int, float]]:
         """``(hub_rank, dist)`` pairs of ``L(v)`` (copied)."""
-        return list(zip(self._hubs[v], self._dists[v]))
+        if self._hubs is not None:
+            return list(zip(self._hubs[v], self._dists[v]))
+        return list(
+            zip(
+                self.finalized_hubs(v).tolist(),
+                self.finalized_dists(v).tolist(),
+            )
+        )
 
     def label_size(self, v: int) -> int:
         """Number of entries in ``L(v)``."""
-        return len(self._hubs[v])
+        if self._hubs is not None:
+            return len(self._hubs[v])
+        indptr = self._finalized_indptr
+        return int(indptr[v + 1] - indptr[v])
 
     def label_sizes(self) -> List[int]:
         """Per-vertex label sizes."""
-        return [len(h) for h in self._hubs]
+        if self._hubs is not None:
+            return [len(h) for h in self._hubs]
+        return np.diff(self._finalized_indptr).tolist()
 
     @property
     def total_entries(self) -> int:
         """Total entries across all vertices."""
-        return sum(len(h) for h in self._hubs)
+        if self._hubs is not None:
+            return sum(len(h) for h in self._hubs)
+        return len(self._finalized_hubs)
 
     @property
     def avg_label_size(self) -> float:
@@ -121,9 +284,10 @@ class LabelStore:
     # Finalisation (query stage)
     # ------------------------------------------------------------------
     def finalize(self) -> None:
-        """Sort each label by hub rank, deduplicate, and freeze to numpy.
+        """Sort each label by hub rank, deduplicate, and freeze to CSR.
 
-        Safe to call repeatedly; re-finalises only after mutations.
+        Safe to call repeatedly; re-finalises only after mutations (and
+        is a no-op on a store adopted via :meth:`from_arrays`).
         Duplicated hubs (from delayed synchronisation) keep the smallest
         distance — which by construction is the true distance, since any
         stored distance for the same (hub, v) pair is produced by an
@@ -131,42 +295,44 @@ class LabelStore:
         """
         if self._finalized_hubs is not None:
             return
-        fh: List[np.ndarray] = []
-        fd: List[np.ndarray] = []
-        for v in range(self.n):
-            h = np.asarray(self._hubs[v], dtype=np.int64)
-            d = np.asarray(self._dists[v], dtype=np.float64)
-            if len(h) > 1:
-                order = np.lexsort((d, h))
-                h = h[order]
-                d = d[order]
-                keep = np.empty(len(h), dtype=bool)
-                keep[0] = True
-                np.not_equal(h[1:], h[:-1], out=keep[1:])
-                h = h[keep]
-                d = d[keep]
-            fh.append(h)
-            fd.append(d)
-        self._finalized_hubs = fh
-        self._finalized_dists = fd
+        indptr, hubs, dists = _sort_dedup_flat(self.n, self._hubs, self._dists)
+        self._finalized_indptr = indptr
+        self._finalized_hubs = hubs
+        self._finalized_dists = dists
 
     def finalized_hubs(self, v: int) -> np.ndarray:
-        """Sorted, deduplicated hub ranks of ``L(v)`` (after finalize)."""
+        """Sorted, deduplicated hub ranks of ``L(v)``: a zero-copy slice
+        of the flat CSR array (after finalize)."""
         if self._finalized_hubs is None:
             raise NotIndexedError("call LabelStore.finalize() first")
-        return self._finalized_hubs[v]
+        indptr = self._finalized_indptr
+        return self._finalized_hubs[int(indptr[v]):int(indptr[v + 1])]
 
     def finalized_dists(self, v: int) -> np.ndarray:
-        """Distances parallel to :meth:`finalized_hubs`."""
+        """Distances parallel to :meth:`finalized_hubs` (zero-copy)."""
         if self._finalized_dists is None:
             raise NotIndexedError("call LabelStore.finalize() first")
-        return self._finalized_dists[v]
+        indptr = self._finalized_indptr
+        return self._finalized_dists[int(indptr[v]):int(indptr[v + 1])]
+
+    def finalized_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The flat CSR triple ``(indptr, hubs, dists)`` (finalizing
+        first if needed).
+
+        This is the sanctioned accessor for vectorised kernels (the
+        batch query) and serialisation; the arrays are shared with the
+        store — treat them as read-only.
+        """
+        self.finalize()
+        return self._finalized_indptr, self._finalized_hubs, self._finalized_dists
 
     # ------------------------------------------------------------------
     # Merging / copying (cluster substrate)
     # ------------------------------------------------------------------
     def copy(self) -> "LabelStore":
         """Deep copy of the mutable label lists."""
+        if self._hubs is None:
+            self._thaw()
         other = LabelStore(self.n)
         other._hubs = [list(h) for h in self._hubs]
         other._dists = [list(d) for d in self._dists]
@@ -180,47 +346,34 @@ class LabelStore:
         """
         if other.n != self.n:
             raise GraphError("cannot merge label stores of different sizes")
+        if self._hubs is None:
+            self._thaw()
         added = 0
         for v in range(self.n):
             have = set(self._hubs[v])
-            oh, od = other._hubs[v], other._dists[v]
-            for i in range(len(oh)):
-                if oh[i] not in have:
-                    self._hubs[v].append(oh[i])
-                    self._dists[v].append(od[i])
-                    have.add(oh[i])
+            entries = other.entries_of(v)
+            for h, d in entries:
+                if h not in have:
+                    self._hubs[v].append(h)
+                    self._dists[v].append(d)
+                    have.add(h)
                     added += 1
         if added:
-            self._finalized_hubs = None
-            self._finalized_dists = None
+            self._invalidate()
         return added
 
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_arrays(self) -> Dict[str, np.ndarray]:
-        """Flatten the (finalized) store into three arrays for ``np.savez``.
+        """The (finalized) store as three flat arrays for ``np.savez``.
 
         Returns:
             dict with ``indptr`` (int64, n+1), ``hubs`` (int64) and
-            ``dists`` (float64).
+            ``dists`` (float64).  The arrays are the store's own CSR
+            arrays (zero-copy) — treat them as read-only.
         """
-        self.finalize()
-        assert self._finalized_hubs is not None
-        assert self._finalized_dists is not None
-        sizes = [len(h) for h in self._finalized_hubs]
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
-        np.cumsum(sizes, out=indptr[1:])
-        hubs = (
-            np.concatenate(self._finalized_hubs)
-            if self.n
-            else np.empty(0, dtype=np.int64)
-        )
-        dists = (
-            np.concatenate(self._finalized_dists)
-            if self.n
-            else np.empty(0, dtype=np.float64)
-        )
+        indptr, hubs, dists = self.finalized_arrays()
         return {"indptr": indptr, "hubs": hubs, "dists": dists}
 
     @classmethod
@@ -229,33 +382,75 @@ class LabelStore:
         indptr: Sequence[int],
         hubs: Sequence[int],
         dists: Sequence[float],
+        validate: bool = True,
     ) -> "LabelStore":
-        """Rebuild a store from :meth:`to_arrays` output."""
-        indptr = np.asarray(indptr, dtype=np.int64)
-        hubs = np.asarray(hubs, dtype=np.int64)
-        dists = np.asarray(dists, dtype=np.float64)
+        """Adopt a CSR triple produced by :meth:`to_arrays` — zero-copy.
+
+        The arrays become the finalized representation directly (no
+        Python-list round-trip, no re-sort, no re-dedup); the returned
+        store is frozen until the first mutation thaws it.  Memory-mapped
+        arrays are adopted as-is, so a loaded index can serve queries
+        without materialising the labels in RAM.
+
+        Args:
+            indptr: int64 ``n+1`` CSR row pointer.
+            hubs: int64 hub ranks, strictly increasing per vertex.
+            dists: float64 distances parallel to *hubs*.
+            validate: structurally validate the arrays (monotone
+                ``indptr``, in-range sorted hub runs).  Only disable for
+                arrays straight out of :meth:`to_arrays`.
+
+        Raises:
+            GraphError: for structurally invalid arrays (with the
+                offending vertex named).
+        """
+        # Keep np.memmap instances as-is (asarray would strip the
+        # subclass); only coerce when the dtype is off.
+        if not (isinstance(indptr, np.ndarray) and indptr.dtype == np.int64):
+            indptr = np.asarray(indptr, dtype=np.int64)
+        if not (isinstance(hubs, np.ndarray) and hubs.dtype == np.int64):
+            hubs = np.asarray(hubs, dtype=np.int64)
+        if not (isinstance(dists, np.ndarray) and dists.dtype == np.float64):
+            dists = np.asarray(dists, dtype=np.float64)
         if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(hubs):
             raise GraphError("invalid label indptr")
         if len(hubs) != len(dists):
             raise GraphError("hubs and dists must have equal length")
-        store = cls(len(indptr) - 1)
-        for v in range(store.n):
-            lo, hi = int(indptr[v]), int(indptr[v + 1])
-            store._hubs[v] = hubs[lo:hi].tolist()
-            store._dists[v] = dists[lo:hi].tolist()
+        if validate:
+            _validate_csr(indptr, hubs, dists)
+        store = cls.__new__(cls)
+        store.n = len(indptr) - 1
+        store._hubs = None
+        store._dists = None
+        store._finalized_indptr = indptr
+        store._finalized_hubs = hubs
+        store._finalized_dists = dists
         return store
 
     # ------------------------------------------------------------------
+    def _min_entry_map(self, v: int) -> Dict[int, float]:
+        """``hub -> min distance`` for ``L(v)``, duplicate-safe."""
+        out: Dict[int, float] = {}
+        for h, d in self.entries_of(v):
+            h = int(h)
+            prev = out.get(h)
+            if prev is None or d < prev:
+                out[h] = d
+        return out
+
     def __eq__(self, other: object) -> bool:
-        """Set equality of label entries, distance-aware."""
+        """Set equality of label entries, distance-aware.
+
+        Duplicated hubs (delayed synchronisation) are reduced with min
+        before comparing, so two stores holding the same *semantic*
+        labels compare equal regardless of duplicate order.
+        """
         if not isinstance(other, LabelStore):
             return NotImplemented
         if self.n != other.n:
             return False
         for v in range(self.n):
-            a = dict(zip(self._hubs[v], self._dists[v]))
-            b = dict(zip(other._hubs[v], other._dists[v]))
-            if a != b:
+            if self._min_entry_map(v) != other._min_entry_map(v):
                 return False
         return True
 

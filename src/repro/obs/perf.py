@@ -297,6 +297,51 @@ def _wl_query_batch(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_batch_query(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """The vectorised batch kernel vs the per-pair Python loop.
+
+    Times ``query_distance_batch`` on 10k pairs against the equivalent
+    scalar ``query_distance`` loop over the same pairs, and counts how
+    many answers agree bit-for-bit (``batch_matches`` must equal
+    ``pairs`` — the kernel is exact, not approximate).  The
+    ``batch_over_scalar`` ratio is the batch wall divided by the scalar
+    wall: lower is better, and staying well under 1/3 is the point of
+    the kernel.
+    """
+    import numpy as np
+
+    from repro.core.index import PLLIndex
+    from repro.core.query import query_distance, query_distance_batch
+
+    index = PLLIndex.build(ctx.graph)
+    store = index.store
+    n = ctx.graph.num_vertices
+    rng = np.random.default_rng(ctx.seed + 23)
+    pairs = rng.integers(0, n, size=(10_000, 2))
+
+    t0 = time.perf_counter()
+    batch_out = query_distance_batch(store, pairs)
+    batch_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar_out = np.array(
+        [query_distance(store, int(s), int(t)) for s, t in pairs]
+    )
+    scalar_wall = time.perf_counter() - t0
+
+    matches = int(np.sum(batch_out == scalar_out))
+    return {
+        "batch_seconds": _metric(batch_wall, "time", "s"),
+        "scalar_seconds": _metric(scalar_wall, "time", "s"),
+        # Dimensionless wall ratio; generous tol — both walls jitter.
+        "batch_over_scalar": _metric(
+            batch_wall / scalar_wall, "time", "x", tol=1.0
+        ),
+        "batch_matches": _metric(float(matches), "counter", "pairs"),
+        "pairs": _metric(float(len(pairs)), "counter", "pairs"),
+    }
+
+
 def _wl_server_roundtrip(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     import numpy as np
 
@@ -411,6 +456,7 @@ def default_workloads() -> List[Workload]:
         Workload("sim_build_p4", _wl_sim_build, timeline=_wl_sim_build_timeline),
         Workload("cluster_build_q2c1", _wl_cluster_build),
         Workload("query_batch", _wl_query_batch),
+        Workload("batch_query", _wl_batch_query),
         Workload("server_roundtrip", _wl_server_roundtrip),
         Workload("index_invariants", _wl_index_invariants),
         Workload("explain_overhead", _wl_explain_overhead),

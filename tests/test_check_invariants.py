@@ -5,6 +5,7 @@ import pytest
 
 from repro.check.invariants import verify_index
 from repro.core.index import PLLIndex
+from repro.core.labels import LabelStore
 from repro.errors import CheckError
 from repro.parallel.threads import build_parallel_threads
 
@@ -53,8 +54,36 @@ class TestCleanIndexes:
             report.check("nonsense")
 
 
+def _with_entry_dropped(store, pos):
+    """A new store with the flat-array entry at *pos* removed."""
+    indptr, hubs, dists = store.finalized_arrays()
+    v = int(np.searchsorted(indptr, pos, side="right") - 1)
+    new_indptr = indptr.copy()
+    new_indptr[v + 1:] -= 1
+    return LabelStore.from_arrays(
+        new_indptr, np.delete(hubs, pos), np.delete(dists, pos)
+    )
+
+
+def _with_entry_inserted(store, v, hub, dist):
+    """A new store with (hub, dist) inserted into L(v), sorted."""
+    indptr, hubs, dists = store.finalized_arrays()
+    run = hubs[int(indptr[v]):int(indptr[v + 1])]
+    pos = int(indptr[v]) + int(np.searchsorted(run, hub))
+    new_indptr = indptr.copy()
+    new_indptr[v + 1:] += 1
+    return LabelStore.from_arrays(
+        new_indptr, np.insert(hubs, pos, hub), np.insert(dists, pos, dist)
+    )
+
+
 class TestCorruptedIndexes:
-    """Tamper with finalized labels; the verifier must catch each case."""
+    """Tamper with finalized labels; the verifier must catch each case.
+
+    Structural tampering goes through the writable zero-copy slices
+    (`finalized_hubs/dists(v)`) or rebuilds the flat CSR arrays; the
+    verifier reads through the same public accessors.
+    """
 
     @pytest.fixture
     def index(self, random_graph):
@@ -63,31 +92,34 @@ class TestCorruptedIndexes:
         return idx
 
     def test_unsorted_hubs_detected(self, index):
-        hubs = index.store._finalized_hubs
-        v = next(u for u in range(index.num_vertices) if len(hubs[u]) >= 2)
-        hubs[v] = hubs[v][::-1].copy()
+        store = index.store
+        v = next(
+            u for u in range(index.num_vertices)
+            if len(store.finalized_hubs(u)) >= 2
+        )
+        run = store.finalized_hubs(v)
+        run[:] = run[::-1].copy()
         report = verify_index(index, samples=0, check_minimality=False)
         assert checks_by_name(report)["hubs_sorted"] == "failed"
         assert any(f.vertex == v for f in report.violations)
 
     def test_negative_distance_detected(self, index):
-        index.store._finalized_dists[1][0] = -0.5
+        index.store.finalized_dists(1)[0] = -0.5
         report = verify_index(index, samples=0, check_minimality=False)
         assert checks_by_name(report)["distances_valid"] == "failed"
 
     def test_nan_distance_detected(self, index):
-        index.store._finalized_dists[1][0] = float("nan")
+        index.store.finalized_dists(1)[0] = float("nan")
         report = verify_index(index, samples=0, check_minimality=False)
         assert checks_by_name(report)["distances_valid"] == "failed"
 
     def test_missing_self_label_detected(self, index):
         v = 2
         r = int(index.rank[v])
-        hubs = index.store._finalized_hubs[v]
-        dists = index.store._finalized_dists[v]
-        keep = hubs != r
-        index.store._finalized_hubs[v] = hubs[keep]
-        index.store._finalized_dists[v] = dists[keep]
+        indptr, _, _ = index.store.finalized_arrays()
+        run = index.store.finalized_hubs(v)
+        pos = int(indptr[v]) + int(np.flatnonzero(run == r)[0])
+        index.store = _with_entry_dropped(index.store, pos)
         report = verify_index(index, samples=0, check_minimality=False)
         assert checks_by_name(report)["self_label"] == "failed"
 
@@ -95,8 +127,8 @@ class TestCorruptedIndexes:
         # Scale every label distance by 1.5 (self labels stay 0): all
         # structural checks still pass, but every reachable pair now
         # answers 1.5x too long — only the Dijkstra comparison sees it.
-        for v in range(index.num_vertices):
-            index.store._finalized_dists[v] *= 1.5
+        _, _, dists = index.store.finalized_arrays()
+        dists *= 1.5
         report = verify_index(
             index, graph=random_graph, samples=64, seed=0,
             check_minimality=False,
@@ -111,22 +143,18 @@ class TestCorruptedIndexes:
         store = index.store
         candidates = [
             w for w in range(index.num_vertices)
-            if len(store._finalized_hubs[w])
-            and store._finalized_hubs[w][0] == 0
+            if len(store.finalized_hubs(w))
+            and store.finalized_hubs(w)[0] == 0
         ]
         v, u = candidates[0], candidates[1]
         h = int(index.rank[u])
         assert h > 0
-        hubs_v = store._finalized_hubs[v]
-        dists_v = store._finalized_dists[v]
-        assert h not in hubs_v  # u's rank exceeds every hub labelling v
+        assert h not in store.finalized_hubs(v)  # not already labelled
         # Distance long enough that the shared hub 0 dominates it.
         d_dom = float(
-            store._finalized_dists[v][0] + store._finalized_dists[u][0]
+            store.finalized_dists(v)[0] + store.finalized_dists(u)[0]
         ) + 5.0
-        pos = int(np.searchsorted(hubs_v, h))
-        store._finalized_hubs[v] = np.insert(hubs_v, pos, h)
-        store._finalized_dists[v] = np.insert(dists_v, pos, d_dom)
+        index.store = _with_entry_inserted(store, v, h, d_dom)
 
         loose = verify_index(index, samples=0, check_minimality=True)
         strict = verify_index(index, samples=0, strict_minimality=True)
@@ -135,7 +163,7 @@ class TestCorruptedIndexes:
         assert checks_by_name(strict)["minimality"] == "failed"
 
     def test_render_lists_violations(self, index):
-        index.store._finalized_dists[1][0] = -1.0
+        index.store.finalized_dists(1)[0] = -1.0
         report = verify_index(index, samples=0, check_minimality=False)
         text = report.render()
         assert "FAIL" in text

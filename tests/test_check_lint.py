@@ -336,6 +336,52 @@ class TestImportLayeringRule:
         assert not hits(rep, "PC005")
 
 
+class TestLabelInternalsRule:
+    def test_read_of_finalized_slot_fires(self, tmp_path):
+        _, rep = lint_snippet(
+            tmp_path, "repro/service/peek.py",
+            """\
+            def entries(store):
+                return len(store._finalized_hubs)
+            """,
+        )
+        (v,) = hits(rep, "PC006")
+        assert v.line == 2
+        assert "_finalized_hubs" in v.message
+
+    def test_write_of_finalized_slot_fires(self, tmp_path):
+        _, rep = lint_snippet(
+            tmp_path, "repro/core/tamper.py",
+            """\
+            def corrupt(store):
+                store._finalized_dists = None
+                store._finalized_indptr = None
+            """,
+        )
+        assert len(hits(rep, "PC006")) == 2
+
+    def test_labels_module_itself_is_exempt(self, tmp_path):
+        _, rep = lint_snippet(
+            tmp_path, "repro/core/labels.py",
+            """\
+            class LabelStore:
+                def finalized_arrays(self):
+                    return self._finalized_indptr, self._finalized_hubs
+            """,
+        )
+        assert not hits(rep, "PC006")
+
+    def test_public_accessors_are_fine(self, tmp_path):
+        _, rep = lint_snippet(
+            tmp_path, "repro/service/clean.py",
+            """\
+            def entries(store, v):
+                return store.finalized_hubs(v), store.finalized_arrays()
+            """,
+        )
+        assert not hits(rep, "PC006")
+
+
 class TestEngine:
     def test_syntax_error_reports_pc000(self, tmp_path):
         _, rep = lint_snippet(
@@ -434,7 +480,7 @@ class TestEngine:
 
     def test_rule_registry_is_complete(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["PC001", "PC002", "PC003", "PC004", "PC005"]
+        assert ids == ["PC001", "PC002", "PC003", "PC004", "PC005", "PC006"]
 
 
 class TestRepositoryIsClean:

@@ -76,9 +76,11 @@ class TestFinalize:
         store = LabelStore(1)
         store.add(0, 0, 1.0)
         store.finalize()
-        first = store.finalized_hubs(0)
+        first = store.finalized_arrays()
         store.finalize()
-        assert store.finalized_hubs(0) is first
+        second = store.finalized_arrays()
+        for a, b in zip(first, second):
+            assert a is b
 
     def test_mutation_invalidates_finalize(self):
         store = LabelStore(1)
@@ -155,6 +157,30 @@ class TestSerialisation:
         with pytest.raises(GraphError):
             LabelStore.from_arrays([0, 1], [0], [1.0, 2.0])
 
+    def test_from_arrays_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphError, match="vertex 1"):
+            LabelStore.from_arrays([0, 2, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_from_arrays_rejects_out_of_range_hub(self):
+        with pytest.raises(GraphError, match=r"L\(1\)"):
+            LabelStore.from_arrays([0, 1, 2], [0, 7], [1.0, 2.0])
+
+    def test_from_arrays_rejects_unsorted_hubs(self):
+        with pytest.raises(GraphError, match="vertex 0.*unsorted"):
+            LabelStore.from_arrays([0, 2, 2], [1, 0], [1.0, 2.0])
+
+    def test_from_arrays_rejects_duplicate_hubs(self):
+        with pytest.raises(GraphError, match="vertex 2.*duplicated"):
+            LabelStore.from_arrays(
+                [0, 1, 1, 3], [0, 1, 1], [1.0, 2.0, 2.0]
+            )
+
+    def test_from_arrays_validate_false_skips_structure_checks(self):
+        store = LabelStore.from_arrays(
+            [0, 2, 2], [1, 0], [1.0, 2.0], validate=False
+        )
+        assert store.finalized_hubs(0).tolist() == [1, 0]
+
     def test_to_arrays_shapes(self):
         store = LabelStore(2)
         store.add(0, 0, 1.0)
@@ -162,6 +188,56 @@ class TestSerialisation:
         assert arrays["indptr"].tolist() == [0, 1, 1]
         assert arrays["hubs"].dtype == np.int64
         assert arrays["dists"].dtype == np.float64
+
+    def test_to_arrays_is_zero_copy(self):
+        store = LabelStore(2)
+        store.add(0, 0, 1.0)
+        store.add(1, 0, 2.0)
+        indptr, hubs, dists = store.finalized_arrays()
+        arrays = store.to_arrays()
+        assert arrays["indptr"] is indptr
+        assert arrays["hubs"] is hubs
+        assert arrays["dists"] is dists
+
+
+class TestFrozenStore:
+    """Stores adopted via from_arrays have no Python lists until thawed."""
+
+    def _frozen(self):
+        store = LabelStore(3)
+        store.add(0, 0, 1.0)
+        store.add(2, 0, 2.0)
+        store.add(2, 1, 3.5)
+        return LabelStore.from_arrays(**store.to_arrays())
+
+    def test_reads_work_frozen(self):
+        store = self._frozen()
+        assert store.total_entries == 3
+        assert store.label_sizes() == [1, 0, 2]
+        assert store.label_size(2) == 2
+        assert list(store.hubs_of(2)) == [0, 1]
+        assert list(store.dists_of(2)) == [2.0, 3.5]
+        assert store.entries_of(2) == [(0, 2.0), (1, 3.5)]
+
+    def test_finalized_slices_are_views(self):
+        store = self._frozen()
+        hubs = store.finalized_hubs(2)
+        assert hubs.base is store.finalized_arrays()[1]
+
+    def test_mutation_thaws(self):
+        store = self._frozen()
+        store.add(1, 0, 4.0)
+        assert store.label_size(1) == 1
+        store.finalize()
+        assert store.finalized_hubs(1).tolist() == [0]
+        assert store.finalized_hubs(2).tolist() == [0, 1]
+
+    def test_copy_thaws(self):
+        store = self._frozen()
+        clone = store.copy()
+        clone.add(0, 1, 9.0)
+        assert store.label_size(0) == 1
+        assert clone.label_size(0) == 2
 
 
 class TestEquality:
@@ -183,6 +259,32 @@ class TestEquality:
 
     def test_unequal_size(self):
         assert LabelStore(1) != LabelStore(2)
+
+    def test_equal_with_duplicate_hubs_reduced_by_min(self):
+        # Delayed-sync duplicates: (hub 2, 3.0) then (hub 2, 5.0).  The
+        # semantic label is {2: 3.0}; a naive dict(zip(...)) would keep
+        # the *last* distance (5.0) and wrongly report inequality.
+        a = LabelStore(3)
+        a.add(0, 2, 3.0)
+        a.add(0, 2, 5.0)
+        b = LabelStore(3)
+        b.add(0, 2, 3.0)
+        assert a == b
+
+    def test_duplicate_hubs_still_unequal_when_min_differs(self):
+        a = LabelStore(3)
+        a.add(0, 2, 3.0)
+        a.add(0, 2, 5.0)
+        b = LabelStore(3)
+        b.add(0, 2, 5.0)
+        assert a != b
+
+    def test_frozen_equals_mutable(self):
+        a = LabelStore(2)
+        a.add(0, 0, 1.0)
+        a.add(1, 1, 2.0)
+        frozen = LabelStore.from_arrays(**a.to_arrays())
+        assert frozen == a
 
     def test_other_type(self):
         assert LabelStore(1).__eq__("x") is NotImplemented

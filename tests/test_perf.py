@@ -325,3 +325,24 @@ class TestExplainOverheadWorkload:
         assert metrics["explain_matches"]["kind"] == "counter"
         assert metrics["plain_query_seconds"]["kind"] == "time"
         assert metrics["explain_seconds"]["kind"] == "time"
+
+
+class TestBatchQueryWorkload:
+    def test_workload_registered(self):
+        names = [w.name for w in default_workloads()]
+        assert "batch_query" in names
+
+    def test_batch_matches_every_pair(self, suite_doc):
+        # The kernel is exact: all 10k batch answers must equal the
+        # scalar loop bit-for-bit, every repeat.
+        metrics = suite_doc["workloads"]["batch_query"]["metrics"]
+        assert metrics["batch_matches"]["median"] == metrics["pairs"]["median"]
+        assert metrics["pairs"]["median"] == 10000.0
+        assert metrics["batch_matches"]["min"] == metrics["batch_matches"]["max"]
+
+    def test_metric_kinds(self, suite_doc):
+        metrics = suite_doc["workloads"]["batch_query"]["metrics"]
+        assert metrics["batch_matches"]["kind"] == "counter"
+        assert metrics["batch_seconds"]["kind"] == "time"
+        assert metrics["scalar_seconds"]["kind"] == "time"
+        assert metrics["batch_over_scalar"]["kind"] == "time"

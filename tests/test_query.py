@@ -2,13 +2,16 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.labels import LabelStore
 from repro.core.query import (
     clear_tmp,
     load_tmp,
+    query_candidates,
     query_distance,
+    query_distance_batch,
     query_numpy,
     query_result,
     query_via_tmp,
@@ -81,6 +84,21 @@ class TestQueryResult:
         assert not res.reachable
         assert res.hub is None
 
+    def test_entries_scanned_counts_consumed_entries(self, store):
+        # L(2) = [(0, 3), (1, 1)]; L(3) = [(0, 6), (1, 2)].  The merge
+        # join consumes both sides fully: i + j = 4.
+        assert query_result(store, 2, 3).entries_scanned == 4
+
+    def test_entries_scanned_matches_explain_accounting(self, store):
+        # Satellite fix: QueryResult.entries_scanned must equal the
+        # per-side consumed counts query_candidates reports to EXPLAIN.
+        for s in range(4):
+            for t in range(4):
+                if s == t:
+                    continue
+                _, i, j = query_candidates(store, s, t)
+                assert query_result(store, s, t).entries_scanned == i + j
+
 
 class TestAgreement:
     def test_numpy_matches_merge(self, store):
@@ -99,6 +117,34 @@ class TestAgreement:
                 assert got == query_distance(store, s, t)
             clear_tmp(tmp, touched)
             assert all(x == INF for x in tmp)
+
+
+class TestBatch:
+    def test_matches_scalar_on_fixture(self, store):
+        pairs = [(s, t) for s in range(4) for t in range(4)]
+        out = query_distance_batch(store, pairs)
+        assert out.tolist() == [
+            query_distance(store, s, t) for s, t in pairs
+        ]
+
+    def test_vectorized_path_matches_scalar(self, store):
+        # Repeat the pair grid past the fallback threshold so the
+        # composite-key join runs.
+        pairs = [(s, t) for s in range(4) for t in range(4)] * 10
+        out = query_distance_batch(store, pairs)
+        assert len(pairs) >= 32
+        assert out.tolist() == [
+            query_distance(store, s, t) for s, t in pairs
+        ]
+
+    def test_dtype_and_shape(self, store):
+        out = query_distance_batch(store, [(0, 1)])
+        assert out.dtype == np.float64
+        assert out.shape == (1,)
+
+    def test_duplicate_pairs(self, store):
+        out = query_distance_batch(store, [(2, 3)] * 40)
+        assert out.tolist() == [query_distance(store, 2, 3)] * 40
 
 
 class TestTmpHelpers:

@@ -62,6 +62,42 @@ class TestOracle:
         assert out == [index.distance(s, t) for s, t in pairs]
         assert oracle.stats.batch_queries == 1
 
+    def test_batch_large_vectorized_path(self, index):
+        # Cross the batch kernel's scalar-fallback threshold.
+        oracle = DistanceOracle(index)
+        n = index.num_vertices
+        pairs = [(s % n, (3 * s + 1) % n) for s in range(200)]
+        out = oracle.batch(pairs)
+        assert out == [index.distance(s, t) for s, t in pairs]
+        assert oracle.stats.queries == 200
+
+    def test_batch_uses_and_fills_cache(self, index):
+        oracle = DistanceOracle(index)
+        oracle.distance(0, 1)  # prime the cache
+        out = oracle.batch([(0, 1), (1, 0), (2, 3)])
+        assert out == [
+            index.distance(0, 1),
+            index.distance(0, 1),
+            index.distance(2, 3),
+        ]
+        # (0,1) and its symmetric twin hit; (2,3) missed and was cached.
+        assert oracle.stats.cache_hits == 2
+        second = oracle.batch([(2, 3)])
+        assert second == [index.distance(2, 3)]
+        assert oracle.stats.cache_hits == 3
+
+    def test_batch_respects_cache_capacity(self, index):
+        oracle = DistanceOracle(index, cache_size=2)
+        oracle.batch([(0, 1), (0, 2), (0, 3)])
+        entries, cap = oracle.cache_info()
+        assert entries == 2 and cap == 2
+
+    def test_batch_empty(self, index):
+        oracle = DistanceOracle(index)
+        assert oracle.batch([]) == []
+        assert oracle.stats.batch_queries == 1
+        assert oracle.stats.queries == 0
+
     def test_knn_lazy_build(self, index):
         oracle = DistanceOracle(index)
         out = oracle.k_nearest(3, 4)
