@@ -682,6 +682,7 @@ class ExceptionHygieneRule(Rule):
 # ----------------------------------------------------------------------
 #: Sanctioned low-overhead observability facades importable from below.
 _OBS_FACADES = {
+    "repro.obs.buildmon",
     "repro.obs.config",
     "repro.obs.flightrec",
     "repro.obs.instruments",
@@ -719,9 +720,10 @@ def _layer_of(module: str) -> Optional[int]:
 class ImportLayeringRule(Rule):
     """PC005: module-level imports must not reach up the layer stack.
 
-    ``repro.obs`` is special-cased: any layer may import the four cheap
-    facades (metrics counters, span tracing, phase timers, the config
-    flags) — that is the whole point of the facade split — but the
+    ``repro.obs`` is special-cased: any layer may import the cheap
+    facades (metrics counters, span tracing, phase timers, the build
+    monitor's report hooks, the config flags) — that is the whole point
+    of the facade split — but the
     heavy analysis modules (``perf``, ``regression``, ``timeline``,
     ``export``, ``env``) are importable only from the top layers, and
     only :mod:`repro.check.hooks` is importable from runtime code.

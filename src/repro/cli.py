@@ -8,6 +8,8 @@ Subcommands::
     parapll query    --graph g.npz --index g.index.npz 3 42
     parapll explain  --index g.index.npz 3 42              # why that answer?
     parapll stats    --index g.index.npz                   # label stats
+    parapll audit    run --index g.index.npz --out a.json  # health audit
+    parapll audit    diff a.json b.json                    # compare audits
     parapll serve    --index g.index.npz --port 7777       # TCP oracle
     parapll top      --port 7777                           # live status
     parapll flightrec dump --out flight.jsonl              # post-mortem ring
@@ -64,20 +66,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
-    if args.threads > 1:
-        index = build_parallel_threads(
-            graph, args.threads, policy=args.policy, engine=args.engine
-        )
-    elif args.engine == "bfs":
-        from repro.core.pruned_bfs import build_serial_bfs
-        from repro.graph.order import by_degree
+    import contextlib
 
-        order = by_degree(graph)
-        store, stats = build_serial_bfs(graph, order=order)
-        index = PLLIndex(store, order, graph=graph, stats=stats)
-    else:
-        index = PLLIndex.build(graph)
+    from repro.obs import buildmon as _buildmon
+
+    graph = _load_graph(args.graph)
+    monitor: Optional[_buildmon.BuildMonitor] = None
+    scope = contextlib.nullcontext()
+    if args.progress or args.progress_jsonl:
+        sink = None
+        if args.progress:
+            # One top-style frame per emitted snapshot, to stderr so
+            # the final summary on stdout stays script-friendly.
+            sink = lambda snap: print(  # noqa: E731
+                monitor.render(snap) + "\n", file=sys.stderr
+            )
+        monitor = _buildmon.BuildMonitor(
+            total_roots=graph.num_vertices, sink=sink
+        )
+        scope = _buildmon.monitored(monitor)
+    with scope:
+        if args.threads > 1:
+            index = build_parallel_threads(
+                graph, args.threads, policy=args.policy, engine=args.engine
+            )
+        elif args.engine == "bfs":
+            from repro.core.pruned_bfs import build_serial_bfs
+            from repro.graph.order import by_degree
+
+            order = by_degree(graph)
+            store, stats = build_serial_bfs(graph, order=order)
+            index = PLLIndex(store, order, graph=graph, stats=stats)
+        else:
+            index = PLLIndex.build(graph)
+    if monitor is not None and args.progress_jsonl:
+        count = monitor.write_jsonl(args.progress_jsonl)
+        print(
+            f"wrote {count} build-progress events to {args.progress_jsonl}"
+        )
     if args.out:
         out = args.out
     elif args.format == "dir":
@@ -196,9 +222,14 @@ def _cmd_flightrec_dump(args: argparse.Namespace) -> int:
         print(f"dumped {count} remote flight-recorder events to {args.out}")
         return 0
     if args.graph:
-        # Run an instrumented build so the ring has something to show.
+        # Run an instrumented build so the ring has something to show —
+        # monitored, so the dump carries build_progress snapshots too.
+        from repro.obs import buildmon as _buildmon
+
         graph = _load_graph(args.graph)
-        build_parallel_threads(graph, args.threads, policy=args.policy)
+        monitor = _buildmon.BuildMonitor(total_roots=graph.num_vertices)
+        with _buildmon.monitored(monitor):
+            build_parallel_threads(graph, args.threads, policy=args.policy)
     count = _flightrec.get_recorder().dump(args.out, reason="manual")
     print(f"dumped {count} flight-recorder events to {args.out}")
     return 0
@@ -272,9 +303,87 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_from_path(
+    path: str,
+    graph: Optional[CSRGraph] = None,
+    mmap: bool = False,
+    check_dominated: bool = True,
+) -> dict:
+    """An audit report for *path*: a saved report (.json) or an index.
+
+    A JSON file carrying the ``parapll-audit/1`` schema is loaded and
+    validated; anything else is treated as a saved index, which is
+    loaded and audited on the spot.
+    """
+    from repro.obs import audit as _audit
+
+    if path.endswith(".json"):
+        return _audit.load_report(path)
+    index = PLLIndex.load(path, graph=graph, mmap=mmap)
+    return _audit.audit_index(
+        index, check_dominated=check_dominated, source=path
+    )
+
+
+def _cmd_audit_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import audit as _audit
+
+    graph = _load_graph(args.graph) if args.graph else None
+    if args.index:
+        index = PLLIndex.load(args.index, graph=graph, mmap=args.mmap)
+        source = args.index
+    elif graph is not None:
+        if args.threads > 1:
+            index = build_parallel_threads(
+                graph, args.threads, policy=args.policy
+            )
+        else:
+            index = PLLIndex.build(graph)
+        source = args.graph
+    else:
+        raise ReproError("audit run needs --index and/or --graph")
+    report = _audit.audit_index(
+        index, check_dominated=not args.no_dominated, source=source
+    )
+    _audit.validate_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote audit report to {args.out}")
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        print(_audit.render_report(report))
+    dominated = report["dominated"]
+    if args.fail_on_dominated and dominated["checked"] and dominated["count"]:
+        return 1
+    return 0
+
+
+def _cmd_audit_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import audit as _audit
+
+    graph = _load_graph(args.graph) if args.graph else None
+    report_a = _audit_from_path(args.a, graph=graph, mmap=args.mmap)
+    report_b = _audit_from_path(args.b, graph=graph, mmap=args.mmap)
+    diff = _audit.diff_reports(report_a, report_b)
+    if args.json:
+        print(_json.dumps(diff, indent=2))
+    else:
+        print(_audit.render_diff(diff))
+    return 1 if (args.fail_on_regression and diff["regressions"]) else 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Build with full observability on, then report and export."""
     from repro import obs
+    from repro.core.stats import label_cdf, roots_to_reach
+    from repro.obs import buildmon as _buildmon
 
     if args.graph:
         graph = _load_graph(args.graph)
@@ -285,13 +394,16 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     tracing = args.trace or args.jsonl is not None
     previous = obs.current_config()
     obs.configure(metrics=True, tracing=tracing)
+    monitor = _buildmon.BuildMonitor(total_roots=graph.num_vertices)
     try:
-        if args.threads > 1 or args.engine != "dijkstra":
-            index = build_parallel_threads(
-                graph, args.threads, policy=args.policy, engine=args.engine
-            )
-        else:
-            index = PLLIndex.build(graph)
+        with _buildmon.monitored(monitor):
+            if args.threads > 1 or args.engine != "dijkstra":
+                index = build_parallel_threads(
+                    graph, args.threads, policy=args.policy,
+                    engine=args.engine,
+                )
+            else:
+                index = PLLIndex.build(graph)
     finally:
         obs.configure(
             metrics=previous.metrics, tracing=previous.tracing
@@ -301,6 +413,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         f"built {graph.name}: n={graph.num_vertices} "
         f"m={graph.num_edges} LN={index.avg_label_size():.1f}"
     )
+    # The Figure-6 skew, measured from the monitor's commit-order
+    # per-root stats (works for threaded builds too).
+    cdf = label_cdf(monitor.per_root)
+    if len(cdf):
+        print(
+            f"labels: {monitor.labels_total} entries; 90% from the "
+            f"first {roots_to_reach(cdf, 0.9)} of {monitor.roots_done} "
+            "roots"
+        )
     print()
     print(obs.render_summary())
     if args.prom:
@@ -557,6 +678,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="npz = one compressed archive (default); dir = raw .npy "
         "bundle that query/serve can memory-map with --mmap",
     )
+    i.add_argument(
+        "--progress", action="store_true",
+        help="render live build-progress frames to stderr",
+    )
+    i.add_argument(
+        "--progress-jsonl", default=None, metavar="FILE",
+        help="write the parapll-buildmon/1 progress events to FILE",
+    )
     i.set_defaults(func=_cmd_index)
 
     q = sub.add_parser("query", help="query a distance from a saved index")
@@ -600,6 +729,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="memory-map the label arrays (dir-bundle indexes only)",
     )
     s.set_defaults(func=_cmd_stats)
+
+    a = sub.add_parser(
+        "audit", help="index-health audit: run one, or diff two"
+    )
+    asub = a.add_subparsers(dest="audit_command", required=True)
+
+    ar = asub.add_parser(
+        "run",
+        help="audit an index: label sizes, hub coverage, dominated "
+        "entries, memory attribution (parapll-audit/1)",
+    )
+    ar.add_argument("--index", default=None, help="saved index (.npz/dir)")
+    ar.add_argument(
+        "--graph", default=None,
+        help="graph file (index is built fresh when no --index is given)",
+    )
+    ar.add_argument("--threads", type=int, default=1)
+    ar.add_argument(
+        "--policy", choices=("static", "dynamic"), default="dynamic"
+    )
+    ar.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the label arrays (dir-bundle indexes only)",
+    )
+    ar.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    ar.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the text summary",
+    )
+    ar.add_argument(
+        "--no-dominated", action="store_true",
+        help="skip the dominated-entry scan (large indexes)",
+    )
+    ar.add_argument(
+        "--fail-on-dominated", action="store_true",
+        help="exit 1 when any dominated entry is found (serial builds "
+        "are canonical and must have none)",
+    )
+    ar.set_defaults(func=_cmd_audit_run)
+
+    ad = asub.add_parser(
+        "diff",
+        help="compare two audits; each argument is a saved report "
+        "(.json) or an index to audit on the spot",
+    )
+    ad.add_argument("a", help="baseline: audit report .json or index")
+    ad.add_argument("b", help="candidate: audit report .json or index")
+    ad.add_argument(
+        "--graph", default=None,
+        help="graph file attached when auditing index arguments",
+    )
+    ad.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map index arguments (dir bundles only)",
+    )
+    ad.add_argument(
+        "--json", action="store_true",
+        help="print the JSON diff instead of the text summary",
+    )
+    ad.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when the candidate regressed (label growth, new "
+        "dominated entries, heavier coverage tail)",
+    )
+    ad.set_defaults(func=_cmd_audit_diff)
 
     sv = sub.add_parser(
         "serve", help="serve an index over line-JSON TCP"

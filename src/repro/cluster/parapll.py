@@ -28,6 +28,7 @@ from repro.core.labels import LabelStore
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import buildmon as _buildmon
 from repro.obs import context as _ctx
 from repro.obs import flightrec as _flightrec
 from repro.obs import trace as _trace
@@ -153,6 +154,10 @@ def simulate_cluster(
         )
         for k in range(num_nodes)
     ]
+    # Give each node's virtual workers a distinct id range in any
+    # installed build monitor (node k reports workers k*p .. k*p+p-1).
+    for k, node in enumerate(nodes):
+        node.buildmon_worker_base = k * threads_per_node
     top = [int(v) for v in order[:replicate_top]]
     rest = order[replicate_top:]
     if inter_node == "round-robin":
@@ -194,6 +199,9 @@ def simulate_cluster(
         deltas = [node.drain_deltas() for node in nodes]
         round_entries = sum(len(d) for d in deltas)
         _flightrec.record(
+            "sync_round", round=j, entries=round_entries, nodes=num_nodes
+        )
+        _buildmon.report_note(
             "sync_round", round=j, entries=round_entries, nodes=num_nodes
         )
         with _ctx.activate(build_ctx), _trace.span(

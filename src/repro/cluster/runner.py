@@ -26,10 +26,11 @@ from repro.core.pruned_dijkstra import PrunedDijkstra
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import buildmon as _buildmon
 from repro.obs import context as _ctx
 from repro.obs import flightrec as _flightrec
 from repro.obs import trace as _trace
-from repro.types import IndexStats
+from repro.types import IndexStats, SearchStats
 
 __all__ = ["cluster_rank_program", "run_cluster_threads"]
 
@@ -64,6 +65,7 @@ def cluster_rank_program(
     share = round_robin_partition(order, comm.size)[rank]
     chunks = split_chunks(share, syncs, schedule=sync_schedule)
     ctx = _ctx.current()
+    monitor = _buildmon.active()
 
     with _trace.span(
         "cluster_rank",
@@ -79,11 +81,17 @@ def cluster_rank_program(
                 "cluster_chunk", rank=rank, round=round_no, roots=len(chunk)
             ):
                 for root in chunk:
-                    delta = engine.run(int(root), store)
+                    root_stats = SearchStats() if monitor is not None else None
+                    delta = engine.run(int(root), store, root_stats)
                     root_rank = engine.rank_of(int(root))
                     triples = [(v, root_rank, d) for v, d in delta]
                     store.add_delta(triples)
                     update_list.extend(triples)
+                    if monitor is not None:
+                        monitor.root_done(
+                            rank, int(root), stats=root_stats,
+                            labels=len(delta),
+                        )
             # Synchronisation phase (line 15): exchange Lists, merge.
             _flightrec.record(
                 "sync_round",
@@ -91,6 +99,13 @@ def cluster_rank_program(
                 round=round_no,
                 entries=len(update_list),
             )
+            if monitor is not None:
+                monitor.note(
+                    "sync_round",
+                    rank=rank,
+                    round=round_no,
+                    entries=len(update_list),
+                )
             gathered = comm.allgather(rank, update_list)
             for src, triples in enumerate(gathered):
                 if src == rank:

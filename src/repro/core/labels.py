@@ -326,6 +326,41 @@ class LabelStore:
         self.finalize()
         return self._finalized_indptr, self._finalized_hubs, self._finalized_dists
 
+    def memory_breakdown(self) -> Dict[str, object]:
+        """Per-array memory attribution of the finalized CSR triple.
+
+        Returns:
+            dict with per-array byte sizes (``indptr_bytes``,
+            ``hubs_bytes``, ``dists_bytes``, ``total_bytes``),
+            ``bytes_per_entry`` (0.0 for an empty store), ``mmap``
+            (True when the arrays are memory-mapped, i.e. a ``dir``
+            bundle loaded with ``mmap=True``), and
+            ``resident_bytes_estimate`` — for mmap-backed stores the
+            touched-page estimate (indptr is always walked; hub/dist
+            pages fault in on demand, so the floor is the indptr size),
+            for in-RAM stores simply the total.
+        """
+        indptr, hubs, dists = self.finalized_arrays()
+        indptr_b = int(indptr.nbytes)
+        hubs_b = int(hubs.nbytes)
+        dists_b = int(dists.nbytes)
+        total = indptr_b + hubs_b + dists_b
+        is_mmap = any(
+            isinstance(a, np.memmap) for a in (indptr, hubs, dists)
+        )
+        entries = len(hubs)
+        return {
+            "indptr_bytes": indptr_b,
+            "hubs_bytes": hubs_b,
+            "dists_bytes": dists_b,
+            "total_bytes": total,
+            "bytes_per_entry": (
+                (hubs_b + dists_b) / entries if entries else 0.0
+            ),
+            "mmap": is_mmap,
+            "resident_bytes_estimate": indptr_b if is_mmap else total,
+        }
+
     # ------------------------------------------------------------------
     # Merging / copying (cluster substrate)
     # ------------------------------------------------------------------

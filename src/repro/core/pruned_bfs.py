@@ -139,17 +139,23 @@ def build_serial_bfs(
     """
     import time
 
+    from repro.obs import buildmon as _buildmon
+
     if order is None:
         order = by_degree(graph)
     engine = PrunedBFS(graph, order)
     store = LabelStore(graph.num_vertices)
     per_root: List[SearchStats] = []
+    monitor = _buildmon.active()
     t0 = time.perf_counter()
     for root in engine.order:
-        if collect_per_root:
+        if collect_per_root or monitor is not None:
             s = SearchStats()
             delta = engine.run(int(root), store, s)
-            per_root.append(s)
+            if collect_per_root:
+                per_root.append(s)
+            if monitor is not None:
+                monitor.root_done(0, int(root), stats=s)
         else:
             delta = engine.run(int(root), store)
         engine.commit(int(root), delta, store)

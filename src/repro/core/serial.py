@@ -15,6 +15,7 @@ from repro.core.labels import LabelStore
 from repro.core.pruned_dijkstra import PrunedDijkstra
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import buildmon as _buildmon
 from repro.obs import trace as _trace
 from repro.obs.timers import PhaseTimer
 from repro.types import IndexStats, SearchStats
@@ -52,18 +53,25 @@ def build_serial(
     store = LabelStore(graph.num_vertices)
 
     per_root: list[SearchStats] = []
+    # An installed build monitor needs per-root counters even when the
+    # caller did not ask to keep them.
+    monitor = _buildmon.active()
+    collect = collect_per_root or monitor is not None
     t0 = time.perf_counter()
     with timer.phase("search"), _trace.span(
         "build_serial", n=graph.num_vertices
     ):
-        if collect_per_root:
+        if collect:
             for root in engine.order:
                 with _trace.span("root_search", root=int(root), worker=0) as sp:
                     stats = SearchStats()
                     delta = engine.run(int(root), store, stats)
                     engine.commit(int(root), delta, store)
                     sp.set(labels=len(delta))
-                per_root.append(stats)
+                if collect_per_root:
+                    per_root.append(stats)
+                if monitor is not None:
+                    monitor.root_done(0, int(root), stats=stats)
         else:
             for root in engine.order:
                 with _trace.span("root_search", root=int(root), worker=0) as sp:

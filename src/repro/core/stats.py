@@ -15,6 +15,8 @@ import numpy as np
 from repro.types import SearchStats
 
 __all__ = [
+    "hub_contribution",
+    "hub_coverage_cdf",
     "label_cdf",
     "label_size_summary",
     "per_root_label_counts",
@@ -87,3 +89,44 @@ def label_size_summary(sizes: Sequence[int]) -> Dict[str, float]:
 def per_root_label_counts(per_root: Sequence[SearchStats]) -> List[int]:
     """Labels contributed by each root, in indexing order."""
     return [s.labels_added for s in per_root]
+
+
+def hub_contribution(store) -> np.ndarray:
+    """Label entries contributed by each hub, indexed by hub *rank*.
+
+    This is the finished-index counterpart of per-root build stats:
+    entry ``[r]`` counts the label entries whose hub is the rank-``r``
+    vertex, computed straight off the flat CSR ``hubs`` array.  Unlike
+    :func:`label_cdf` it needs no per-root collection, so it works on
+    any index — including one loaded from disk.
+
+    Args:
+        store: a :class:`~repro.core.labels.LabelStore` (finalized or
+            finalizable).
+
+    Returns:
+        ``int64`` array of length ``n`` in rank order.
+    """
+    _indptr, hubs, _dists = store.finalized_arrays()
+    return np.bincount(hubs, minlength=store.n).astype(np.int64)
+
+
+def hub_coverage_cdf(store) -> np.ndarray:
+    """Cumulative fraction of label entries by hub rank (Figure 6).
+
+    ``cdf[r]`` is the fraction of all entries whose hub ranks among the
+    first ``r + 1`` vertices of the ordering.  On a serial build this is
+    identical to :func:`label_cdf` over the per-root stats (roots are
+    indexed in rank order and every entry a root adds carries that root
+    as its hub); on parallel builds it measures the converged index
+    rather than the build schedule.  Feed the result to
+    :func:`roots_to_reach` for the "~90 % from ~100 hubs" statistic.
+
+    Returns:
+        ``float64`` array of length ``n``; all zeros for an empty index.
+    """
+    contrib = hub_contribution(store).astype(np.float64)
+    total = contrib.sum()
+    if total == 0:
+        return np.zeros_like(contrib)
+    return np.cumsum(contrib) / total

@@ -28,6 +28,13 @@ the TCP serving layer all feed one process-wide metrics registry and
   propagation; communicators stamp it onto every envelope.
 * :mod:`repro.obs.flightrec` — always-on ring buffer of the last N
   structured events, dumped to JSONL on failures / ``SIGUSR1``.
+* :mod:`repro.obs.buildmon` — live build monitor: per-root telemetry
+  from the serial/thread/sim/cluster builders as roots commit, emitted
+  as ``parapll-buildmon/1`` progress snapshots (ETA, labels/sec,
+  pruning ratio, stalled workers).
+* :mod:`repro.obs.audit` — index-health audit of a finished index:
+  label-size distribution, hub-coverage concentration, dominated-entry
+  detection and memory attribution as a ``parapll-audit/1`` report.
 
 Metrics are default-on (cheap counter bumps); tracing is opt-in::
 
@@ -39,6 +46,21 @@ Metrics are default-on (cheap counter bumps); tracing is opt-in::
     obs.write_trace_jsonl("build.trace.jsonl")
 """
 
+from repro.obs.audit import (
+    AUDIT_SCHEMA,
+    audit_index,
+    diff_reports,
+    load_report,
+    render_diff,
+    render_report,
+    validate_report,
+)
+from repro.obs.buildmon import (
+    BUILDMON_SCHEMA,
+    BuildMonitor,
+    monitored,
+    report_root,
+)
 from repro.obs.config import ObsConfig, configure, current_config
 from repro.obs.context import (
     Envelope,
@@ -126,6 +148,17 @@ __all__ = [
     "FlightRecorder",
     "get_recorder",
     "install_signal_handler",
+    "BUILDMON_SCHEMA",
+    "BuildMonitor",
+    "monitored",
+    "report_root",
+    "AUDIT_SCHEMA",
+    "audit_index",
+    "diff_reports",
+    "load_report",
+    "render_diff",
+    "render_report",
+    "validate_report",
     "reset",
 ]
 

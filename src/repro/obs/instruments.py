@@ -54,6 +54,26 @@ BUILD_PHASE = _REG.gauge(
 )
 
 # ----------------------------------------------------------------------
+# Build monitor (live progress of an in-flight build)
+# ----------------------------------------------------------------------
+BUILDMON_ROOTS_DONE = _REG.gauge(
+    "parapll_buildmon_roots_done",
+    "Roots committed so far in the monitored build",
+)
+BUILDMON_LABELS_TOTAL = _REG.gauge(
+    "parapll_buildmon_labels_total",
+    "Label entries committed so far in the monitored build",
+)
+BUILDMON_ETA = _REG.gauge(
+    "parapll_buildmon_eta_seconds",
+    "Estimated seconds until the monitored build completes (-1 unknown)",
+)
+BUILDMON_SNAPSHOTS = _REG.counter(
+    "parapll_buildmon_snapshots_total",
+    "Progress snapshots emitted by the build monitor",
+)
+
+# ----------------------------------------------------------------------
 # Thread pool / task manager
 # ----------------------------------------------------------------------
 WORKER_ROOTS = _REG.counter(
@@ -161,6 +181,7 @@ KNOWN_SERVICE_OPS = frozenset(
         "explain",
         "status",
         "debug",
+        "audit",
     }
 )
 
@@ -180,6 +201,18 @@ def record_search(
     BUILD_LABELS.inc(labels)
     BUILD_HEAP_POPS.inc(pops)
     BUILD_QUERY_SCANS.inc(scans)
+
+
+def record_build_progress(
+    roots_done: int, labels_total: int, eta_seconds: Optional[float]
+) -> None:
+    """Record one emitted build-monitor progress snapshot."""
+    if not _config.METRICS:
+        return
+    BUILDMON_ROOTS_DONE.set(roots_done)
+    BUILDMON_LABELS_TOTAL.set(labels_total)
+    BUILDMON_ETA.set(eta_seconds if eta_seconds is not None else -1.0)
+    BUILDMON_SNAPSHOTS.inc()
 
 
 def record_sync_round(entries: int) -> None:

@@ -447,6 +447,105 @@ def _wl_explain_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_audit_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """Buildmon must be (nearly) free; the audit must stay canonical.
+
+    The <5% overhead assertion cannot be enforced by differencing two
+    whole-build walls: on the sub-100ms suite build, run-to-run wall
+    noise is ±10% — larger than the bound being asserted — so that
+    gate would fail on noise, not regressions.  Instead the monitor's
+    *added work* is timed directly: the build calls ``root_done`` once
+    per root plus the sampled emissions, so n hook calls (driving the
+    same sampling schedule a monitored build would) divided by the
+    plain build wall IS the overhead fraction, and because its true
+    value is ~1% the noise multiplies a small number and the 5% gate
+    holds deterministically.  ``overhead_within_gate`` (exact counter)
+    fails the perf comparison outright if the fraction ever exceeds
+    0.05; ``monitor_overhead_ratio`` keeps the end-to-end
+    monitored/plain wall ratio as an informational time metric; and
+    ``progress_events`` pins the sampling schedule exactly, so a
+    change that makes the monitor emit per root fails even when the
+    machine is too noisy to see it in the walls.  The same workload
+    times a full ``audit_index`` pass and pins its dominated count to
+    zero — a serial build is canonical by construction, so a nonzero
+    count here means the builder or the audit broke.
+    """
+    from repro.core.index import PLLIndex
+    from repro.core.serial import build_serial
+    from repro.obs import buildmon as _buildmon
+    from repro.obs.audit import audit_index
+    from repro.obs.buildmon import BuildMonitor
+    from repro.types import SearchStats
+
+    n = ctx.graph.num_vertices
+    sample_every = max(1, n // 20)
+
+    def _monitor() -> BuildMonitor:
+        return BuildMonitor(
+            total_roots=n,
+            sample_every=sample_every,
+            interval_seconds=None,
+            keep_per_root=False,
+        )
+
+    def plain_wall() -> float:
+        t0 = time.perf_counter()
+        build_serial(ctx.graph)
+        return time.perf_counter() - t0
+
+    def monitored_wall() -> float:
+        monitor = _monitor()
+        with _buildmon.monitored(monitor):
+            t0 = time.perf_counter()
+            build_serial(ctx.graph)
+            wall = time.perf_counter() - t0
+        events[0] = len(monitor.events)
+        return wall
+
+    events = [0]
+    plain = min(plain_wall() for _ in range(3))
+    monitored = min(monitored_wall() for _ in range(3))
+
+    # The monitor's entire footprint in a serial build: one root_done
+    # per root, same sampling schedule, same stats bookkeeping.
+    hook_monitor = _monitor()
+    stats = SearchStats(root=0, settled=20, pruned=8, labels_added=12)
+    t0 = time.perf_counter()
+    for root in range(n):
+        hook_monitor.root_done(0, root, stats=stats)
+    hook_wall = time.perf_counter() - t0
+    fraction = hook_wall / plain
+
+    index = PLLIndex.build(ctx.graph)
+    t0 = time.perf_counter()
+    report = audit_index(index, source="perf")
+    audit_wall = time.perf_counter() - t0
+
+    return {
+        "plain_build_seconds": _metric(plain, "time", "s"),
+        "monitored_build_seconds": _metric(monitored, "time", "s"),
+        # End-to-end wall ratio, informational only (see docstring).
+        "monitor_overhead_ratio": _metric(
+            monitored / plain, "time", "x", tol=0.5
+        ),
+        "monitor_hook_fraction": _metric(fraction, "time", "x", tol=1.0),
+        # The hard gate: exact counter, 1.0 iff overhead <= 5%.
+        "overhead_within_gate": _metric(
+            1.0 if fraction <= 0.05 else 0.0, "counter", "bool"
+        ),
+        "progress_events": _metric(
+            float(events[0]), "counter", "events"
+        ),
+        "audit_seconds": _metric(audit_wall, "time", "s"),
+        "dominated_entries": _metric(
+            float(report["dominated"]["count"]), "counter", "entries"
+        ),
+        "label_entries": _metric(
+            float(report["total_entries"]), "counter", "entries"
+        ),
+    }
+
+
 def default_workloads() -> List[Workload]:
     """The standard PerfSuite (one Workload per execution mode)."""
     return [
@@ -460,6 +559,7 @@ def default_workloads() -> List[Workload]:
         Workload("server_roundtrip", _wl_server_roundtrip),
         Workload("index_invariants", _wl_index_invariants),
         Workload("explain_overhead", _wl_explain_overhead),
+        Workload("audit_overhead", _wl_audit_overhead),
     ]
 
 

@@ -28,6 +28,7 @@ from repro.core.labels import LabelStore
 from repro.errors import TaskError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import buildmon as _buildmon
 from repro.obs import config as _obs_config
 from repro.obs import flightrec as _flightrec
 from repro.obs import instruments as _inst
@@ -94,8 +95,10 @@ def build_parallel_threads(
 
     def worker(worker_id: int) -> None:
         from repro.core.engines import make_engine
+        from repro.types import SearchStats
 
         search = make_engine(engine, graph, order)
+        monitor = _buildmon.active()
         # Per-worker metric series, resolved once outside the loop.
         roots_done = _inst.WORKER_ROOTS.labels(worker=str(worker_id))
         queue_wait = _inst.WORKER_QUEUE_WAIT.labels(worker=str(worker_id))
@@ -115,7 +118,12 @@ def build_parallel_threads(
                 with _trace.span(
                     "root_search", worker=worker_id, root=root
                 ) as sp:
-                    delta = search.run(root, store)
+                    if monitor is not None:
+                        root_stats = SearchStats()
+                        delta = search.run(root, store, root_stats)
+                    else:
+                        root_stats = None
+                        delta = search.run(root, store)
                     root_rank = search.rank_of(root)
                     t_req = perf()
                     with commit_lock:
@@ -135,6 +143,10 @@ def build_parallel_threads(
                     root=root,
                     labels=len(delta),
                 )
+                if monitor is not None:
+                    monitor.root_done(
+                        worker_id, root, stats=root_stats, labels=len(delta)
+                    )
                 if _obs_config.METRICS:
                     roots_done.inc()
                     queue_wait.inc(wait)

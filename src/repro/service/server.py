@@ -11,6 +11,7 @@ Requests::
     {"op": "explain", "s": 3, "t": 42}
     {"op": "stats"}
     {"op": "status"}
+    {"op": "audit"}
     {"op": "debug"}
     {"op": "metrics"}
     {"op": "ping"}
@@ -252,6 +253,15 @@ def _dispatch(
                 server.malformed_count if server is not None else 0
             ),
         }
+    if op == "audit":
+        from repro.obs.audit import AUDIT_SCHEMA, audit_index
+
+        report = audit_index(
+            oracle.index,
+            check_dominated=bool(req.get("dominated", True)),
+            source="server",
+        )
+        return {"ok": True, "schema": AUDIT_SCHEMA, "audit": report}
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 
@@ -485,6 +495,18 @@ class DistanceClient:
         out = self._call({"op": "stats"})
         out.pop("ok", None)
         return out
+
+    def audit(self, dominated: bool = True) -> Dict[str, Any]:
+        """Server-side index-health audit.
+
+        Args:
+            dominated: run the dominated-entry scan (pass ``False`` to
+                skip the O(entries × avg-label) pass on large indexes).
+
+        Returns:
+            The ``parapll-audit/1`` report (see :mod:`repro.obs.audit`).
+        """
+        return self._call({"op": "audit", "dominated": dominated})["audit"]
 
     def metrics(self) -> Dict[str, Any]:
         """The server's full observability snapshot.

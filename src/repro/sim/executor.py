@@ -40,6 +40,7 @@ from repro.core.labels import LabelStore
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.order import by_degree
+from repro.obs import buildmon as _buildmon
 from repro.obs import config as _obs_config
 from repro.obs import trace as _trace
 from repro.obs.instruments import CLUSTER_REDUNDANT_LABELS
@@ -138,6 +139,10 @@ class IntraNodeSimulator:
                     -abs(self._rng.normal(0.0, worker_jitter))
                 )
 
+        #: Offset added to worker ids in build-monitor reports, so the
+        #: cluster simulator can give each node's virtual workers a
+        #: distinct id range (node k -> k * p .. k * p + p - 1).
+        self.buildmon_worker_base = 0
         self.worker_clock: List[float] = [0.0] * num_workers
         self.worker_busy: List[float] = [0.0] * num_workers
         self.lock_free_at: float = 0.0
@@ -197,6 +202,12 @@ class IntraNodeSimulator:
                 stats = SearchStats()
                 delta = engine.run(root, store, stats)
                 self.per_root.append(stats)
+                # Simulated builds report to an installed build monitor
+                # too (the monitor's own clocks are wall-clock, so the
+                # rates describe simulation throughput, not makespan).
+                _buildmon.report_root(
+                    self.buildmon_worker_base + w, root, stats=stats
+                )
                 root_rank = int(rank[root])
                 triples = [(v, root_rank, d) for v, d in delta]
                 if self.visibility == "immediate":

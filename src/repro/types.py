@@ -85,6 +85,30 @@ class SearchStats:
         self.heap_pops += other.heap_pops
         self.query_entries_scanned += other.query_entries_scanned
 
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of settled vertices discarded by the prune test.
+
+        The live pruning-effectiveness measure: high values mean the
+        2-hop-cover test is doing its job (most searches terminate
+        without adding labels); 0.0 when nothing was settled yet.
+        """
+        return self.pruned / self.settled if self.settled else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Counters as a JSON-safe dict (buildmon / audit payloads)."""
+        return {
+            "root": self.root,
+            "settled": self.settled,
+            "pruned": self.pruned,
+            "labels_added": self.labels_added,
+            "relaxations": self.relaxations,
+            "heap_pushes": self.heap_pushes,
+            "heap_pops": self.heap_pops,
+            "query_entries_scanned": self.query_entries_scanned,
+            "prune_ratio": self.prune_ratio,
+        }
+
 
 @dataclass
 class IndexStats:

@@ -1,0 +1,338 @@
+"""Tests for repro.obs.audit: the index-health auditor."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import verify_index
+from repro.core import stats as core_stats
+from repro.core.index import PLLIndex
+from repro.core.labels import LabelStore
+from repro.core.serial import build_serial
+from repro.errors import CheckError
+from repro.generators.random_graphs import gnm_random_graph
+from repro.obs.audit import (
+    AUDIT_SCHEMA,
+    audit_index,
+    diff_reports,
+    load_report,
+    render_diff,
+    render_report,
+    validate_report,
+)
+
+
+@pytest.fixture
+def graph():
+    return gnm_random_graph(70, 180, seed=5)
+
+
+@pytest.fixture
+def index(graph):
+    return PLLIndex.build(graph)
+
+
+def _inject_redundant_entry(index):
+    """Clone *index* with one provably dominated label entry added.
+
+    Find entries (v, h1, d1) and (u, h1, d2) sharing a hub h1 with
+    rank[u] > h1: the new entry (v, rank[u], d1 + d2) is then dominated
+    by construction — the earlier common hub h1 covers the v--u pair
+    within exactly that distance.
+    """
+    store = index.store
+    rank = index.rank
+    n = store.n
+    for v in range(n):
+        hubs_v = store.finalized_hubs(v)
+        dists_v = store.finalized_dists(v)
+        for i in range(len(hubs_v)):
+            h1 = int(hubs_v[i])
+            for u in range(n):
+                if u == v or int(rank[u]) <= h1:
+                    continue
+                hubs_u = store.finalized_hubs(u)
+                pos = int(np.searchsorted(hubs_u, h1))
+                if pos < len(hubs_u) and int(hubs_u[pos]) == h1:
+                    if int(rank[u]) in set(int(x) for x in hubs_v):
+                        continue  # entry already present
+                    d = float(dists_v[i]) + float(
+                        store.finalized_dists(u)[pos]
+                    )
+                    clone = store.copy()
+                    clone.add(v, int(rank[u]), d)
+                    clone.finalize()
+                    return PLLIndex(clone, index.order, graph=index.graph)
+    raise AssertionError("no injectable redundant entry found")
+
+
+class TestAuditReport:
+    def test_schema_and_validation(self, index):
+        report = audit_index(index)
+        assert report["schema"] == AUDIT_SCHEMA
+        validate_report(report)  # must not raise
+
+    def test_json_roundtrip(self, index, tmp_path):
+        report = audit_index(index, source="test")
+        path = tmp_path / "audit.json"
+        path.write_text(json.dumps(report))
+        loaded = load_report(str(path))
+        assert loaded == json.loads(json.dumps(report))
+        validate_report(loaded)
+
+    def test_label_cdf_matches_core_stats(self, graph):
+        # The audit's coverage stats must agree with repro.core.stats
+        # computed from per-root build telemetry on the same build.
+        from repro.graph.order import by_degree
+
+        store, stats = build_serial(graph, collect_per_root=True)
+        index = PLLIndex(store, by_degree(graph), graph=graph)
+        report = audit_index(index)
+        build_cdf = core_stats.label_cdf(stats.per_root)
+        for frac in (0.5, 0.9, 0.99):
+            assert report["hub_coverage"]["roots_to_reach"][
+                f"{frac:g}"
+            ] == core_stats.roots_to_reach(build_cdf, frac)
+        assert report["total_entries"] == store.total_entries
+
+    def test_label_size_distribution(self, index):
+        report = audit_index(index)
+        sizes = np.diff(index.store.finalized_arrays()[0])
+        ls = report["label_sizes"]
+        assert ls["max"] == int(sizes.max())
+        assert ls["mean"] == pytest.approx(float(sizes.mean()))
+        assert ls["p50"] == pytest.approx(float(np.percentile(sizes, 50)))
+        assert ls["p95"] == pytest.approx(float(np.percentile(sizes, 95)))
+
+    def test_serial_build_has_zero_dominated(self, index):
+        report = audit_index(index)
+        assert report["dominated"]["checked"] is True
+        assert report["dominated"]["count"] == 0
+        assert report["dominated"]["examples"] == []
+
+    def test_dominated_detection_on_hand_built_labels(self):
+        # Path 0 -1- 1 -1- 2, ordering 0 < 1 < 2 (rank = vertex id).
+        # Correct canonical labels, plus one redundant entry: (2, hub 1)
+        # at d=1 is dominated by hub 0: L(1) has (0, 1), L(2) has (0, 2)
+        # and 1 + 2 > ... no — domination needs the *hub vertex* and v
+        # to share an earlier hub within the distance.  Entry (v=2,
+        # h=1, d=1): hub vertex is 1; common earlier hub 0 with
+        # d(0,1)=1 and d(0,2)=2 gives 1+2=3 > 1, NOT dominated.  Instead
+        # inject (v=2, h=1, d=5): 1+2=3 <= 5 — dominated.
+        store = LabelStore(3)
+        store.add(0, 0, 0.0)
+        store.add(1, 0, 1.0)
+        store.add(1, 1, 0.0)
+        store.add(2, 0, 2.0)
+        store.add(2, 1, 5.0)  # redundant: hub 0 covers 1--2 at 3 <= 5
+        store.add(2, 2, 0.0)
+        store.finalize()
+        index = PLLIndex(store, [0, 1, 2])
+        report = audit_index(index)
+        assert report["dominated"]["count"] == 1
+        assert report["dominated"]["examples"] == [
+            {"vertex": 2, "hub_rank": 1, "dist": 5.0}
+        ]
+
+    def test_agrees_with_invariant_verifier(self, graph, index):
+        injected = _inject_redundant_entry(index)
+        report = audit_index(injected)
+        verifier = verify_index(injected, graph=graph, samples=8)
+        assert report["dominated"]["count"] == verifier.redundant_labels
+        assert report["dominated"]["count"] >= 1
+
+    def test_skip_dominated_scan(self, index):
+        report = audit_index(index, check_dominated=False)
+        validate_report(report)
+        assert report["dominated"]["checked"] is False
+        assert report["dominated"]["count"] is None
+
+    def test_memory_attribution(self, index):
+        report = audit_index(index)
+        mem = report["memory"]
+        indptr, hubs, dists = index.store.finalized_arrays()
+        assert mem["indptr_bytes"] == indptr.nbytes
+        assert mem["hubs_bytes"] == hubs.nbytes
+        assert mem["dists_bytes"] == dists.nbytes
+        assert mem["total_bytes"] == (
+            indptr.nbytes + hubs.nbytes + dists.nbytes
+        )
+        assert mem["mmap"] is False
+        assert mem["resident_bytes_estimate"] == mem["total_bytes"]
+
+    def test_memory_attribution_mmap(self, index, tmp_path):
+        bundle = tmp_path / "g.index"
+        index.save(str(bundle), format="dir")
+        loaded = PLLIndex.load(str(bundle), mmap=True)
+        report = audit_index(loaded, check_dominated=False)
+        mem = report["memory"]
+        assert mem["mmap"] is True
+        assert mem["resident_bytes_estimate"] == mem["indptr_bytes"]
+
+    def test_render_report(self, index):
+        text = render_report(audit_index(index))
+        assert "index audit" in text
+        assert "canonical" in text
+
+    def test_validate_rejects_bad_reports(self, index):
+        report = audit_index(index)
+        with pytest.raises(CheckError):
+            validate_report("not a dict")
+        with pytest.raises(CheckError):
+            validate_report({**report, "schema": "parapll-audit/999"})
+        broken = {k: v for k, v in report.items() if k != "memory"}
+        with pytest.raises(CheckError):
+            validate_report(broken)
+        bad_sizes = dict(report["label_sizes"])
+        del bad_sizes["p95"]
+        with pytest.raises(CheckError):
+            validate_report({**report, "label_sizes": bad_sizes})
+
+
+class TestAuditDiff:
+    def test_identical_reports_no_regressions(self, index):
+        report = audit_index(index)
+        diff = diff_reports(report, report)
+        assert diff["comparable"] is True
+        assert diff["total_entries"]["delta"] == 0
+        assert diff["regressions"] == []
+        assert "verdict: OK" in render_diff(diff)
+
+    def test_diff_different_rank_orders(self, graph):
+        # Descending degree (paper) vs. identity ordering: the worse
+        # order inflates the label set, which the diff must flag.
+        good = PLLIndex.build(graph)
+        bad = PLLIndex.build(graph, order=list(range(graph.num_vertices)))
+        diff = diff_reports(audit_index(good), audit_index(bad))
+        assert diff["total_entries"]["delta"] > 0
+        assert any("label entries grew" in r for r in diff["regressions"])
+        assert "REGRESSED" in render_diff(diff)
+
+    def test_diff_flags_injected_redundant_entry(self, index):
+        baseline = audit_index(index)
+        candidate = audit_index(_inject_redundant_entry(index))
+        diff = diff_reports(baseline, candidate)
+        assert diff["dominated"]["a"] == 0
+        assert diff["dominated"]["b"] >= 1
+        assert diff["dominated"]["delta"] >= 1
+        assert any("dominated" in r for r in diff["regressions"])
+
+    def test_diff_validates_inputs(self, index):
+        report = audit_index(index)
+        with pytest.raises(CheckError):
+            diff_reports(report, {"schema": "nope"})
+
+    def test_incomparable_sizes_noted(self, index):
+        other = PLLIndex.build(gnm_random_graph(30, 70, seed=9))
+        diff = diff_reports(audit_index(index), audit_index(other))
+        assert diff["comparable"] is False
+        assert "different vertex counts" in render_diff(diff)
+
+
+class TestServerAuditOp:
+    def test_audit_op_roundtrip(self, index):
+        from repro.service.oracle import DistanceOracle
+        from repro.service.server import DistanceClient, DistanceServer
+
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, port=0) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                report = client.audit()
+                validate_report(report)
+                assert report["dominated"]["count"] == 0
+                quick = client.audit(dominated=False)
+                assert quick["dominated"]["checked"] is False
+
+
+class TestAuditCli:
+    def test_audit_run_and_diff(self, graph, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.npz import save_graph_npz
+
+        gpath = tmp_path / "g.npz"
+        save_graph_npz(graph, str(gpath))
+        index = PLLIndex.build(graph)
+        ipath = tmp_path / "g.index.npz"
+        index.save(str(ipath))
+        rpath = tmp_path / "audit.json"
+
+        assert main([
+            "audit", "run", "--index", str(ipath),
+            "--out", str(rpath), "--fail-on-dominated",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "index audit" in out and "0 entr(ies)" in out
+        validate_report(json.loads(rpath.read_text()))
+
+        # Injected redundant entry -> diff flags it and exits 1.
+        injected = _inject_redundant_entry(index)
+        ipath2 = tmp_path / "bad.index.npz"
+        injected.save(str(ipath2))
+        assert main([
+            "audit", "diff", str(rpath), str(ipath2),
+            "--fail-on-regression",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_audit_run_fails_on_dominated(self, graph, tmp_path, capsys):
+        from repro.cli import main
+
+        index = _inject_redundant_entry(PLLIndex.build(graph))
+        ipath = tmp_path / "bad.index.npz"
+        index.save(str(ipath))
+        assert main([
+            "audit", "run", "--index", str(ipath), "--fail-on-dominated",
+        ]) == 1
+        assert "redundant" in capsys.readouterr().out
+
+    def test_index_progress_jsonl(self, graph, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.npz import save_graph_npz
+        from repro.obs.buildmon import BUILDMON_SCHEMA
+
+        gpath = tmp_path / "g.npz"
+        save_graph_npz(graph, str(gpath))
+        jpath = tmp_path / "progress.jsonl"
+        assert main([
+            "index", "--graph", str(gpath),
+            "--out", str(tmp_path / "g.index.npz"),
+            "--progress-jsonl", str(jpath),
+        ]) == 0
+        lines = jpath.read_text().strip().splitlines()
+        assert json.loads(lines[0])["schema"] == BUILDMON_SCHEMA
+        assert any(
+            json.loads(line)["kind"] == "build_progress"
+            for line in lines[1:]
+        )
+
+    def test_obs_reports_roots_to_reach(self, graph, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.npz import save_graph_npz
+
+        gpath = tmp_path / "g.npz"
+        save_graph_npz(graph, str(gpath))
+        assert main(["obs", "--graph", str(gpath)]) == 0
+        out = capsys.readouterr().out
+        assert "90% from the first" in out
+
+
+class TestHubCoverageStats:
+    def test_hub_contribution_counts_entries(self, index):
+        contrib = core_stats.hub_contribution(index.store)
+        assert contrib.sum() == index.store.total_entries
+        # Every vertex carries its own hub, so the top-ranked hub
+        # appears at least once; counts are per rank position.
+        assert contrib[0] >= 1
+
+    def test_hub_coverage_cdf_monotone_to_one(self, index):
+        cdf = core_stats.hub_coverage_cdf(index.store)
+        assert len(cdf) == index.store.n
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_empty_store(self):
+        store = LabelStore(4)
+        store.finalize()
+        assert core_stats.hub_coverage_cdf(store).tolist() == [0.0] * 4

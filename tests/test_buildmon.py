@@ -1,0 +1,306 @@
+"""Tests for repro.obs.buildmon: the live build monitor."""
+
+import io
+import json
+
+import pytest
+
+from repro.cluster.parapll import simulate_cluster
+from repro.cluster.runner import run_cluster_threads
+from repro.core.serial import build_serial
+from repro.generators.random_graphs import gnm_random_graph
+from repro.obs import buildmon
+from repro.obs.buildmon import BUILDMON_SCHEMA, BuildMonitor
+from repro.obs.flightrec import get_recorder
+from repro.parallel.threads import build_parallel_threads
+from repro.types import SearchStats
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    buildmon.uninstall()
+    get_recorder().clear()
+    yield
+    buildmon.uninstall()
+    get_recorder().clear()
+
+
+@pytest.fixture
+def graph():
+    return gnm_random_graph(60, 160, seed=11)
+
+
+def _stats(root, settled=10, pruned=4, labels=6):
+    return SearchStats(
+        root=root, settled=settled, pruned=pruned, labels_added=labels
+    )
+
+
+class TestBuildMonitor:
+    def test_counts_and_snapshot(self):
+        m = BuildMonitor(total_roots=4, interval_seconds=None)
+        m.root_done(0, 7, stats=_stats(7))
+        m.root_done(1, 8, stats=_stats(8, settled=20, pruned=15, labels=5))
+        snap = m.snapshot()
+        assert snap["roots_done"] == 2
+        assert snap["total_roots"] == 4
+        assert snap["fraction_done"] == pytest.approx(0.5)
+        assert snap["labels_total"] == 11
+        assert snap["settled_total"] == 30
+        assert snap["pruned_total"] == 19
+        assert snap["prune_ratio"] == pytest.approx(19 / 30)
+        assert snap["label_ratio"] == pytest.approx(11 / 30)
+        assert snap["workers"]["0"]["roots"] == 1
+        assert snap["workers"]["1"]["roots"] == 1
+
+    def test_labels_without_stats(self):
+        m = BuildMonitor(interval_seconds=None)
+        m.root_done(0, 1, labels=9)
+        assert m.labels_total == 9
+        assert m.per_root == []
+        assert m.snapshot()["prune_ratio"] == 0.0
+
+    def test_sample_every_controls_emission(self):
+        m = BuildMonitor(
+            total_roots=100, sample_every=10, interval_seconds=None
+        )
+        for i in range(35):
+            m.root_done(0, i, stats=_stats(i))
+        # Snapshots at roots 10, 20, 30 — not per root.
+        assert len(m.events) == 3
+        assert [e["attrs"]["roots_done"] for e in m.events] == [10, 20, 30]
+
+    def test_final_root_forces_emission(self):
+        m = BuildMonitor(
+            total_roots=7, sample_every=100, interval_seconds=None
+        )
+        for i in range(7):
+            m.root_done(0, i, stats=_stats(i))
+        assert len(m.events) == 1
+        assert m.events[-1]["attrs"]["roots_done"] == 7
+
+    def test_eta_and_rates_use_injected_clock(self):
+        t = [0.0]
+        m = BuildMonitor(
+            total_roots=10, interval_seconds=None, clock=lambda: t[0]
+        )
+        t[0] = 1.0
+        for i in range(5):
+            m.root_done(0, i, stats=_stats(i, labels=10))
+        t[0] = 5.0
+        snap = m.snapshot()
+        assert snap["elapsed_seconds"] == pytest.approx(5.0)
+        assert snap["roots_per_second"] == pytest.approx(1.0)
+        assert snap["labels_per_second"] == pytest.approx(10.0)
+        assert snap["eta_seconds"] == pytest.approx(5.0)
+
+    def test_stall_detection(self):
+        t = [0.0]
+        m = BuildMonitor(
+            interval_seconds=None,
+            stall_seconds=10.0,
+            clock=lambda: t[0],
+        )
+        m.root_done(0, 1, stats=_stats(1))
+        m.root_done(1, 2, stats=_stats(2))
+        t[0] = 30.0
+        m.root_done(0, 3, stats=_stats(3))  # worker 1 idle for 30s
+        snap = m.snapshot()
+        assert snap["stalled_workers"] == [1]
+        # A new commit from worker 1 clears the flag.
+        m.root_done(1, 4, stats=_stats(4))
+        assert m.snapshot()["stalled_workers"] == []
+
+    def test_all_idle_is_not_a_stall(self):
+        t = [0.0]
+        m = BuildMonitor(
+            interval_seconds=None, stall_seconds=5.0, clock=lambda: t[0]
+        )
+        m.root_done(0, 1, stats=_stats(1))
+        m.root_done(1, 2, stats=_stats(2))
+        t[0] = 100.0
+        assert m.snapshot()["stalled_workers"] == []
+
+    def test_finish_emits_final_snapshot(self):
+        m = BuildMonitor(sample_every=1000, interval_seconds=None)
+        m.root_done(0, 1, stats=_stats(1))
+        assert m.events == []
+        snap = m.finish()
+        assert snap["final"] is True
+        assert len(m.events) == 1
+
+    def test_note_lands_in_events(self):
+        m = BuildMonitor(interval_seconds=None)
+        m.note("sync_round", round=0, entries=12)
+        assert m.events[-1]["kind"] == "sync_round"
+        assert m.events[-1]["attrs"] == {"round": 0, "entries": 12}
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        m = BuildMonitor(total_roots=3, sample_every=1, interval_seconds=None)
+        for i in range(3):
+            m.root_done(0, i, stats=_stats(i))
+        m.note("sync_round", round=0, entries=5)
+        path = tmp_path / "progress.jsonl"
+        count = m.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == BUILDMON_SCHEMA
+        assert header["events"] == count == len(lines) - 1
+        kinds = [json.loads(line)["kind"] for line in lines[1:]]
+        assert kinds == ["build_progress"] * 3 + ["sync_round"]
+
+    def test_write_jsonl_to_file_object(self):
+        m = BuildMonitor(interval_seconds=None)
+        m.finish()
+        buf = io.StringIO()
+        assert m.write_jsonl(buf) == 1
+        assert json.loads(buf.getvalue().splitlines()[0])["kind"] == "header"
+
+    def test_render_mentions_progress_and_stalls(self):
+        t = [0.0]
+        m = BuildMonitor(
+            total_roots=10,
+            interval_seconds=None,
+            stall_seconds=5.0,
+            clock=lambda: t[0],
+        )
+        m.root_done(0, 1, stats=_stats(1))
+        m.root_done(1, 2, stats=_stats(2))
+        t[0] = 20.0
+        m.root_done(0, 3, stats=_stats(3))
+        text = m.render()
+        assert "3/10 roots" in text
+        assert "STALLED" in text and "worker(s) 1" in text
+
+    def test_sink_receives_snapshots(self):
+        seen = []
+        m = BuildMonitor(
+            sample_every=1, interval_seconds=None, sink=seen.append
+        )
+        m.root_done(0, 1, stats=_stats(1))
+        assert len(seen) == 1 and seen[0]["roots_done"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BuildMonitor(total_roots=-1)
+        with pytest.raises(ValueError):
+            BuildMonitor(sample_every=0)
+        with pytest.raises(ValueError):
+            BuildMonitor(stall_seconds=0.0)
+
+
+class TestInstallation:
+    def test_monitored_installs_and_restores(self):
+        assert buildmon.active() is None
+        outer = BuildMonitor(interval_seconds=None)
+        inner = BuildMonitor(interval_seconds=None)
+        with buildmon.monitored(outer):
+            assert buildmon.active() is outer
+            with buildmon.monitored(inner):
+                assert buildmon.active() is inner
+            assert buildmon.active() is outer
+        assert buildmon.active() is None
+        # Both monitors got their final snapshot on scope exit.
+        assert outer.events[-1]["attrs"]["final"] is True
+        assert inner.events[-1]["attrs"]["final"] is True
+
+    def test_report_root_is_noop_without_monitor(self):
+        buildmon.report_root(0, 1, stats=_stats(1))  # must not raise
+        buildmon.report_note("sync_round", round=0)
+
+    def test_report_root_reaches_installed_monitor(self):
+        m = buildmon.install(BuildMonitor(interval_seconds=None))
+        buildmon.report_root(2, 9, stats=_stats(9))
+        assert m.roots_done == 1 and "2" in m.snapshot()["workers"]
+        buildmon.uninstall()
+        assert buildmon.active() is None
+
+
+class TestBuilderWiring:
+    def test_serial_build_reports(self, graph):
+        m = BuildMonitor(
+            total_roots=graph.num_vertices, interval_seconds=None
+        )
+        with buildmon.monitored(m):
+            store, _stats_out = build_serial(graph)
+        assert m.roots_done == graph.num_vertices
+        assert m.labels_total == store.total_entries
+        assert len(m.per_root) == graph.num_vertices
+        assert m.events[-1]["attrs"]["final"] is True
+
+    def test_serial_build_unmonitored_collects_nothing(self, graph):
+        store, stats = build_serial(graph)
+        assert stats.per_root == []
+
+    def test_thread_build_reports(self, graph):
+        m = BuildMonitor(
+            total_roots=graph.num_vertices, interval_seconds=None
+        )
+        with buildmon.monitored(m):
+            index = build_parallel_threads(graph, 3)
+        assert m.roots_done == graph.num_vertices
+        assert m.labels_total == index.store.total_entries
+        # Per-root stats flow from the workers (not otherwise collected).
+        assert len(m.per_root) == graph.num_vertices
+
+    def test_cluster_threads_build_reports(self, graph):
+        m = BuildMonitor(
+            total_roots=graph.num_vertices, interval_seconds=None
+        )
+        with buildmon.monitored(m):
+            run_cluster_threads(graph, 2, syncs=2)
+        assert m.roots_done == graph.num_vertices
+        sync_notes = [e for e in m.events if e["kind"] == "sync_round"]
+        assert len(sync_notes) == 4  # 2 ranks x 2 rounds
+
+    def test_simulated_cluster_build_reports(self, graph):
+        m = BuildMonitor(
+            total_roots=graph.num_vertices, interval_seconds=None
+        )
+        with buildmon.monitored(m):
+            simulate_cluster(graph, 2, threads_per_node=2, syncs=2)
+        assert m.roots_done == graph.num_vertices
+        # Node k's virtual workers report as k*p .. k*p+p-1.
+        workers = {int(w) for w in m.snapshot()["workers"]}
+        assert workers <= {0, 1, 2, 3} and max(workers) >= 2
+
+    def test_progress_reaches_flight_recorder(self, graph):
+        m = BuildMonitor(
+            total_roots=graph.num_vertices,
+            sample_every=10,
+            interval_seconds=None,
+        )
+        with buildmon.monitored(m):
+            build_serial(graph)
+        kinds = [e["kind"] for e in get_recorder().snapshot()]
+        assert "build_progress" in kinds
+
+    def test_flightrec_dump_includes_progress(self, graph, tmp_path):
+        m = BuildMonitor(
+            total_roots=graph.num_vertices,
+            sample_every=10,
+            interval_seconds=None,
+        )
+        with buildmon.monitored(m):
+            build_parallel_threads(graph, 2)
+        out = tmp_path / "flight.jsonl"
+        get_recorder().dump(str(out), reason="test")
+        kinds = [
+            json.loads(line)["kind"]
+            for line in out.read_text().strip().splitlines()[1:]
+        ]
+        assert "build_progress" in kinds
+
+    def test_buildmon_gauges_updated(self, graph):
+        from repro.obs.instruments import (
+            BUILDMON_LABELS_TOTAL,
+            BUILDMON_ROOTS_DONE,
+        )
+
+        m = BuildMonitor(
+            total_roots=graph.num_vertices, interval_seconds=None
+        )
+        with buildmon.monitored(m):
+            build_serial(graph)
+        assert BUILDMON_ROOTS_DONE.value() == graph.num_vertices
+        assert BUILDMON_LABELS_TOTAL.value() == m.labels_total
