@@ -11,6 +11,9 @@ Subcommands::
     parapll audit    run --index g.index.npz --out a.json  # health audit
     parapll audit    diff a.json b.json                    # compare audits
     parapll serve    --index g.index.npz --port 7777       # TCP oracle
+    parapll serve    --index g.index.npz --qlog q.jsonl    # + capture
+    parapll workload report --qlog q.jsonl                 # traffic shape
+    parapll replay   --port 7777 --requests 5000           # SLO verdict
     parapll top      --port 7777                           # live status
     parapll flightrec dump --out flight.jsonl              # post-mortem ring
     parapll obs      --graph g.npz --threads 4             # observed build
@@ -170,9 +173,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
     import time as _time
 
+    from repro import obs
     from repro.obs import flightrec as _flightrec
+    from repro.obs import qlog as _qlog
     from repro.service.oracle import DistanceOracle
     from repro.service.server import DistanceServer
 
@@ -185,26 +192,164 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("serve needs --index and/or --graph")
     # SIGUSR1 dumps the flight recorder of a live server.
     _flightrec.install_signal_handler()
+    recorder = None
+    if args.qlog:
+        if args.qlog_sample is not None:
+            obs.configure(qlog_sample=args.qlog_sample)
+        recorder = _qlog.QueryLogRecorder(sink=args.qlog)
+        _qlog.install(recorder)
+    # SIGTERM/SIGINT request a clean shutdown: stop accepting, flush
+    # the qlog sink, and emit a final metrics/SLO snapshot instead of
+    # dropping buffered records on the floor.
+    stop = threading.Event()
+
+    def _request_stop(signum: int, _frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
     oracle = DistanceOracle(index)
     with DistanceServer(
         oracle,
         host=args.host,
         port=args.port,
         slow_query_seconds=args.slow_query_seconds,
+        shed_burn_rate=args.shed_burn_rate,
     ) as server:
         print(
             f"serving {index.num_vertices} vertices on "
             f"{args.host}:{server.port}",
             flush=True,
         )
-        try:
-            if args.duration is not None:
-                _time.sleep(args.duration)
-            else:
-                while True:
-                    _time.sleep(3600)
-        except KeyboardInterrupt:
-            pass
+        deadline = (
+            _time.monotonic() + args.duration
+            if args.duration is not None
+            else None
+        )
+        while not stop.is_set():
+            if deadline is not None and _time.monotonic() >= deadline:
+                break
+            stop.wait(0.2)
+        _print_final_snapshot(server, oracle)
+    if recorder is not None:
+        _qlog.uninstall()
+        recorder.close()
+        print(
+            f"qlog: {recorder.sampled} sampled records captured to "
+            f"{args.qlog}"
+        )
+    return 0
+
+
+def _print_final_snapshot(server, oracle) -> None:
+    """The shutdown summary of ``parapll serve``."""
+    stats = oracle.stats
+    status = server.slo_tracker.status()
+    print(
+        f"served {stats.queries} point queries "
+        f"({stats.cache_hits} cache hits, "
+        f"{stats.batch_queries} batches), "
+        f"{server.shed_count} requests shed"
+    )
+    windows = status["windowed_latency_quantiles"]
+    for window in sorted(windows):
+        q = windows[window]
+        print(
+            f"  window {window}: "
+            + " ".join(
+                f"{name}={q[name] * 1e3:.3f}ms" for name in sorted(q)
+            )
+        )
+    for target in status["targets"]:
+        state = "BREACH" if target["breached"] else "ok"
+        print(
+            f"  slo {target['name']}: burn_rate={target['burn_rate']:.2f} "
+            f"budget_remaining={target['budget_remaining']:.1%} [{state}]"
+        )
+
+
+def _cmd_workload_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import qlog as _qlog
+    from repro.obs import workload as _workload
+
+    records = _qlog.read_qlog(args.qlog)
+    try:
+        report = _workload.characterize(
+            records,
+            top=args.top,
+            cache_sizes=(
+                [int(x) for x in args.cache_sizes.split(",")]
+                if args.cache_sizes
+                else None
+            ),
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote workload report to {args.out}")
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        print(_workload.render_workload(report))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import qlog as _qlog
+    from repro.service import replay as _replay
+
+    config = _replay.ReplayConfig(
+        mode=args.mode,
+        source=args.source,
+        requests=args.requests,
+        clients=args.clients,
+        rate=args.rate,
+        seed=args.seed,
+        zipf_alpha=args.zipf_alpha,
+    )
+    qlog_records = _qlog.read_qlog(args.qlog) if args.qlog else None
+    if args.port is not None:
+        report = _replay.run_replay(
+            config,
+            host=args.host,
+            port=args.port,
+            qlog_records=qlog_records,
+        )
+    else:
+        from repro.service.oracle import DistanceOracle
+
+        graph = _load_graph(args.graph) if args.graph else None
+        if args.index:
+            index = PLLIndex.load(args.index, graph=graph, mmap=args.mmap)
+        elif graph is not None:
+            index = PLLIndex.build(graph)
+        else:
+            raise ReproError(
+                "replay needs a target: --port for a live server, or "
+                "--index/--graph for an in-process oracle"
+            )
+        oracle = DistanceOracle(index, cache_size=args.cache_size)
+        report = _replay.run_replay(
+            config, oracle=oracle, qlog_records=qlog_records
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote replay report to {args.out}")
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        print(_replay.render_replay(report))
+    if args.fail_on_breach and not report["verdict"]["pass"]:
+        return 1
     return 0
 
 
@@ -820,7 +965,112 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None,
         help="serve for N seconds then exit (default: forever)",
     )
+    sv.add_argument(
+        "--qlog", default=None, metavar="FILE",
+        help="capture sampled query-log records to FILE (JSONL sink, "
+        "flushed on shutdown)",
+    )
+    sv.add_argument(
+        "--qlog-sample", type=float, default=None, metavar="FRACTION",
+        help="fraction of queries to capture (default: the obs-config "
+        "knob, 1.0)",
+    )
+    sv.add_argument(
+        "--shed-burn-rate", type=float, default=None, metavar="RATE",
+        help="fast-fail point/batch requests while any SLO target's "
+        "burn rate exceeds RATE (default: shedding off)",
+    )
     sv.set_defaults(func=_cmd_serve)
+
+    w = sub.add_parser(
+        "workload",
+        help="characterize captured traffic: skew, hot sets, cache curve",
+    )
+    wsub = w.add_subparsers(dest="workload_command", required=True)
+    wr = wsub.add_parser(
+        "report",
+        help="analyze a parapll-qlog/1 capture (Zipf fit, hot "
+        "vertices/pairs, LRU hit-rate curve)",
+    )
+    wr.add_argument(
+        "--qlog", required=True, metavar="FILE",
+        help="qlog capture: a write_jsonl dump or a raw --qlog sink",
+    )
+    wr.add_argument(
+        "--top", type=int, default=10, help="hot-table depth"
+    )
+    wr.add_argument(
+        "--cache-sizes", default=None, metavar="N,N,...",
+        help="comma-separated LRU sizes to sweep",
+    )
+    wr.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the parapll-workload/1 JSON report to FILE",
+    )
+    wr.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the text summary",
+    )
+    wr.set_defaults(func=_cmd_workload_report)
+
+    rp = sub.add_parser(
+        "replay",
+        help="deterministic traffic replay with an SLO verdict",
+    )
+    rp.add_argument(
+        "--host", default="127.0.0.1", help="live-server address"
+    )
+    rp.add_argument(
+        "--port", type=int, default=None,
+        help="replay against a live server (otherwise an in-process "
+        "oracle from --index/--graph)",
+    )
+    rp.add_argument("--index", default=None, help="saved index (.npz/dir)")
+    rp.add_argument(
+        "--graph", default=None,
+        help="graph file (index is built fresh when no --index is given)",
+    )
+    rp.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the label arrays (dir-bundle indexes only)",
+    )
+    rp.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="in-process oracle LRU size",
+    )
+    rp.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed = N workers back-to-back; open = Poisson arrivals",
+    )
+    rp.add_argument(
+        "--source", choices=("zipf", "uniform", "qlog"), default="zipf",
+        help="traffic shape (qlog replays a capture via --qlog)",
+    )
+    rp.add_argument(
+        "--qlog", default=None, metavar="FILE",
+        help="capture to replay when --source qlog",
+    )
+    rp.add_argument("--requests", type=int, default=1000)
+    rp.add_argument("--clients", type=int, default=4)
+    rp.add_argument(
+        "--rate", type=float, default=1000.0,
+        help="open-loop target arrival rate, requests/second",
+    )
+    rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument("--zipf-alpha", type=float, default=1.1)
+    rp.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the parapll-replay/1 JSON report to FILE",
+    )
+    rp.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the text summary",
+    )
+    rp.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit 1 when any SLO target breached during the replay",
+    )
+    rp.set_defaults(func=_cmd_replay)
 
     tp = sub.add_parser(
         "top", help="poll a live server's status op and render it"

@@ -35,6 +35,15 @@ the TCP serving layer all feed one process-wide metrics registry and
 * :mod:`repro.obs.audit` — index-health audit of a finished index:
   label-size distribution, hub-coverage concentration, dominated-entry
   detection and memory attribution as a ``parapll-audit/1`` report.
+* :mod:`repro.obs.qlog` — sampled query-log capture of serve-path
+  traffic (``parapll-qlog/1``): a bounded ring + optional JSONL sink
+  hooked into the oracle and TCP server.
+* :mod:`repro.obs.slo` — sliding-window latency/availability SLOs:
+  multi-resolution windowed quantiles, error budgets, burn rates,
+  breach events and the server's load-shedding signal.
+* :mod:`repro.obs.workload` — workload characterization from a qlog:
+  Zipf skew fit, hot vertices/pairs, simulated LRU hit-rate curve
+  (``parapll-workload/1``).
 
 Metrics are default-on (cheap counter bumps); tracing is opt-in::
 
@@ -104,8 +113,26 @@ from repro.obs.timeline import (
     render_critical_path,
     write_chrome_trace,
 )
+from repro.obs.qlog import (
+    QLOG_SCHEMA,
+    QueryLogRecorder,
+    read_qlog,
+    recording,
+)
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    SLOTarget,
+    SLOTracker,
+    SlidingWindowHistogram,
+    get_tracker,
+)
 from repro.obs.timers import PhaseTimer, SamplingProfiler
 from repro.obs.trace import TraceRecord, Tracer, event, get_tracer, span
+from repro.obs.workload import (
+    WORKLOAD_SCHEMA,
+    characterize,
+    render_workload,
+)
 
 __all__ = [
     "ObsConfig",
@@ -159,17 +186,35 @@ __all__ = [
     "render_diff",
     "render_report",
     "validate_report",
+    "QLOG_SCHEMA",
+    "QueryLogRecorder",
+    "read_qlog",
+    "recording",
+    "SLO_SCHEMA",
+    "SLOTarget",
+    "SLOTracker",
+    "SlidingWindowHistogram",
+    "get_tracker",
+    "WORKLOAD_SCHEMA",
+    "characterize",
+    "render_workload",
     "reset",
 ]
 
 
 def reset() -> None:
-    """Zero all metrics and drop all trace records.
+    """Zero all metrics and drop all trace/SLO/qlog state.
 
     Registrations and instrument handles survive — only values are
     cleared.  Intended for tests and for scoping a metrics snapshot to
     one run (the bench harness calls this before each experiment).
     """
+    from repro.obs import qlog as _qlog
+
     get_registry().reset()
     get_tracer().clear()
     get_recorder().clear()
+    get_tracker().reset()
+    active = _qlog.active()
+    if active is not None:
+        active.clear()

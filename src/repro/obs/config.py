@@ -24,6 +24,7 @@ __all__ = ["ObsConfig", "configure", "current_config"]
 METRICS: bool = True
 TRACING: bool = False
 TRACE_CAPACITY: int = 4096
+QLOG_SAMPLE: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -35,17 +36,22 @@ class ObsConfig:
         tracing: whether spans and events are captured.
         trace_capacity: ring-buffer size of the global tracer (oldest
             records are dropped once full).
+        qlog_sample: fraction of served queries the query-log recorder
+            captures when one is installed (1.0 = every query, 0.0 =
+            none; see :mod:`repro.obs.qlog`).
     """
 
     metrics: bool = True
     tracing: bool = False
     trace_capacity: int = 4096
+    qlog_sample: float = 1.0
 
 
 def configure(
     metrics: bool | None = None,
     tracing: bool | None = None,
     trace_capacity: int | None = None,
+    qlog_sample: float | None = None,
 ) -> ObsConfig:
     """Update the global observability configuration.
 
@@ -53,9 +59,10 @@ def configure(
     resulting configuration snapshot.
 
     Raises:
-        ValueError: for a non-positive trace capacity.
+        ValueError: for a non-positive trace capacity or a sampling
+            fraction outside ``[0, 1]``.
     """
-    global METRICS, TRACING, TRACE_CAPACITY
+    global METRICS, TRACING, TRACE_CAPACITY, QLOG_SAMPLE
     if metrics is not None:
         METRICS = bool(metrics)
     if tracing is not None:
@@ -64,11 +71,18 @@ def configure(
         if trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
         TRACE_CAPACITY = int(trace_capacity)
+    if qlog_sample is not None:
+        if not 0.0 <= qlog_sample <= 1.0:
+            raise ValueError("qlog_sample must be in [0, 1]")
+        QLOG_SAMPLE = float(qlog_sample)
     return current_config()
 
 
 def current_config() -> ObsConfig:
     """The active configuration as an immutable snapshot."""
     return ObsConfig(
-        metrics=METRICS, tracing=TRACING, trace_capacity=TRACE_CAPACITY
+        metrics=METRICS,
+        tracing=TRACING,
+        trace_capacity=TRACE_CAPACITY,
+        qlog_sample=QLOG_SAMPLE,
     )

@@ -302,6 +302,18 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
             f"  errors             {int(errors)}  "
             f"(malformed lines {int(malformed)}, slow {int(slow)})"
         )
+        # Sliding-window view (process-lifetime quantiles above hide
+        # what the last few minutes looked like).
+        from repro.obs.slo import get_tracker
+
+        for window, qs in sorted(get_tracker().windowed_quantiles().items()):
+            lines.append(
+                "  window  {:<10} ".format(window)
+                + " | ".join(
+                    f"{name} {qs[name] * 1000.0:.2f}ms"
+                    for name in sorted(qs)
+                )
+            )
 
     if len(lines) == 2:
         lines.append("(no metrics recorded)")

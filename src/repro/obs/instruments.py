@@ -166,6 +166,31 @@ ORACLE_CACHE_HITS = _REG.counter(
     "parapll_oracle_cache_hits_total",
     "Oracle queries answered from the LRU cache",
 )
+SERVICE_SHED = _REG.counter(
+    "parapll_service_shed_total",
+    "Requests fast-failed by the SLO load shedder",
+    labels=("op",),
+)
+
+# ----------------------------------------------------------------------
+# SLO engine (sliding-window objectives; see repro.obs.slo)
+# ----------------------------------------------------------------------
+SLO_BURN_RATE = _REG.gauge(
+    "parapll_slo_burn_rate",
+    "Error-budget burn rate per SLO target (1.0 = burning exactly at "
+    "the objective's tolerance; >1.0 = violating)",
+    labels=("target",),
+)
+SLO_BUDGET_REMAINING = _REG.gauge(
+    "parapll_slo_error_budget_remaining",
+    "Fraction of the windowed error budget left per SLO target",
+    labels=("target",),
+)
+SLO_BREACHES = _REG.counter(
+    "parapll_slo_breaches_total",
+    "Burn-rate threshold crossings (breach transitions) per SLO target",
+    labels=("target",),
+)
 
 #: Ops the server reports individually; anything else is folded into
 #: "unknown" so hostile clients cannot blow up label cardinality.
@@ -182,6 +207,7 @@ KNOWN_SERVICE_OPS = frozenset(
         "status",
         "debug",
         "audit",
+        "health",
     }
 )
 
@@ -270,3 +296,31 @@ def record_slow_request(op: Optional[str]) -> None:
         return
     label = op if op in KNOWN_SERVICE_OPS else "unknown"
     SERVICE_SLOW.labels(op=label).inc()
+
+
+def record_shed(op: Optional[str]) -> None:
+    """Count one request fast-failed by the SLO load shedder."""
+    if not _config.METRICS:
+        return
+    label = op if op in KNOWN_SERVICE_OPS else "unknown"
+    SERVICE_SHED.labels(op=label).inc()
+
+
+def record_slo_target(
+    target: str, burn_rate: float, budget_remaining: float, breached: bool
+) -> None:
+    """Mirror one SLO target evaluation onto the gauges.
+
+    Args:
+        target: SLO target name.
+        burn_rate: current windowed burn rate.
+        budget_remaining: fraction of the windowed budget left.
+        breached: ``True`` only on the breach *transition* (the counter
+            counts crossings, not evaluations while breached).
+    """
+    if not _config.METRICS:
+        return
+    SLO_BURN_RATE.labels(target=target).set(burn_rate)
+    SLO_BUDGET_REMAINING.labels(target=target).set(budget_remaining)
+    if breached:
+        SLO_BREACHES.labels(target=target).inc()

@@ -20,7 +20,8 @@ Three metric kinds, with different noise characteristics:
 
 The workload set covers every execution mode: serial build, threaded
 build at p ∈ {1, 4}, simulated build, cluster build with one sync, a
-query batch, and a TCP server round-trip.
+query batch, a TCP server round-trip, a seeded closed-loop traffic
+replay with an SLO verdict, and the qlog/SLO hot-path overhead gate.
 """
 
 from __future__ import annotations
@@ -546,6 +547,143 @@ def _wl_audit_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_serve_replay(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """Seeded closed-loop replay against a live server, gated.
+
+    This is the measurement ROADMAP item 2's sharded tier will be
+    accepted against: a deterministic Zipf-skewed request sequence
+    (same seed ⇒ same pairs, every run) pushed through the real TCP
+    stack by concurrent clients, reporting throughput and tail
+    latencies.  ``throughput_rps`` is recorded for the baseline but
+    carries a huge tolerance — the regression gate is lower-is-better,
+    so the gated forms are ``us_per_request`` and the p50/p99 walls.
+    ``errors`` and ``breached_targets`` are exact: replaying a healthy
+    index through a healthy server must produce neither.
+    """
+    from repro.core.index import PLLIndex
+    from repro.obs.slo import SLOTracker
+    from repro.service.oracle import DistanceOracle
+    from repro.service.replay import ReplayConfig, run_replay
+    from repro.service.server import DistanceServer
+
+    index = PLLIndex.build(ctx.graph)
+    oracle = DistanceOracle(index)
+    config = ReplayConfig(
+        mode="closed",
+        source="zipf",
+        requests=600,
+        clients=4,
+        seed=ctx.seed,
+    )
+    # A private tracker keeps the replay's SLO windows out of the
+    # process-wide one (and vice versa).
+    with DistanceServer(oracle, slo_tracker=SLOTracker()) as server:
+        report = run_replay(config, host="127.0.0.1", port=server.port)
+    lat = report["latency_us"]
+    outcomes = report["outcomes"]
+    return {
+        "wall_seconds": _metric(report["wall_seconds"], "time", "s"),
+        "us_per_request": _metric(
+            report["wall_seconds"] * 1e6 / report["requests"], "time", "us"
+        ),
+        "p50_us": _metric(lat["p50"], "time", "us"),
+        "p99_us": _metric(lat["p99"], "time", "us", tol=1.0),
+        "throughput_rps": _metric(
+            report["throughput_rps"], "time", "req/s", tol=5.0
+        ),
+        "requests": _metric(float(report["requests"]), "counter", "requests"),
+        "errors": _metric(float(outcomes.get("error", 0)), "counter", "requests"),
+        "breached_targets": _metric(
+            float(len(report["verdict"]["breached"])), "counter", "targets"
+        ),
+    }
+
+
+def _wl_qlog_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """The qlog + SLO hooks must cost the serve path <5%.
+
+    Same reasoning as ``audit_overhead``: differencing two whole walls
+    cannot assert a 5% bound under ±10% run noise, so the hooks' *added
+    work* is timed directly and divided by the wall the hooks ride — a
+    plain served request over the loopback TCP stack (socket + JSON
+    framing + dispatch + oracle), measured as min-of-3 like the other
+    overhead gates.  Per served request the added work is exactly: one
+    :func:`repro.obs.qlog.record_query` call against an installed
+    recorder (global load + seeded sampling decision + on sampled
+    queries the record append) plus one
+    :meth:`~repro.obs.slo.SLOTracker.record` (one lock, one bucket
+    bisect, per-threshold exceedance counts).  The gate is evaluated at
+    5% sampling — the recommended always-on capture rate; full capture
+    (``qlog_sample=1.0``, the default, meant for short diagnostic
+    windows) is reported informationally as ``full_sample_fraction``.
+    ``qlog_records`` pins the seeded sampler's output exactly: a
+    different count means sampling determinism broke.
+    """
+    import numpy as np
+
+    from repro.core.index import PLLIndex
+    from repro.obs import qlog as _qlog
+    from repro.obs.slo import SLOTracker
+    from repro.service.oracle import DistanceOracle
+    from repro.service.server import DistanceClient, DistanceServer
+
+    index = PLLIndex.build(ctx.graph)
+    n = ctx.graph.num_vertices
+    rng = np.random.default_rng(ctx.seed + 31)
+    pairs = [(int(s), int(t)) for s, t in rng.integers(0, n, size=(1000, 2))]
+
+    oracle = DistanceOracle(index, cache_size=1024)
+    with DistanceServer(oracle, slo_tracker=SLOTracker()) as server:
+        client = DistanceClient("127.0.0.1", server.port)
+        try:
+
+            def plain_wall() -> float:
+                t0 = time.perf_counter()
+                for s, t in pairs:
+                    client.distance(s, t)
+                return time.perf_counter() - t0
+
+            plain = min(plain_wall() for _ in range(3))
+        finally:
+            client.close()
+
+    def hook_wall(sample: float) -> tuple:
+        recorder = _qlog.QueryLogRecorder(sample=sample, seed=ctx.seed)
+        tracker = SLOTracker()
+        _qlog.install(recorder)
+        try:
+            wall = float("inf")
+            for _ in range(3):
+                recorder.clear()
+                t0 = time.perf_counter()
+                for s, t in pairs:
+                    _qlog.record_query("distance", s, t, 10.0)
+                    tracker.record(1e-5, ok=True)
+                wall = min(wall, time.perf_counter() - t0)
+        finally:
+            _qlog.uninstall()
+        return wall, recorder.sampled
+
+    sampled_wall, records = hook_wall(0.05)
+    full_wall, _ = hook_wall(1.0)
+    fraction = sampled_wall / plain
+    return {
+        "plain_serve_seconds": _metric(plain, "time", "s"),
+        "hook_fraction": _metric(fraction, "time", "x", tol=1.0),
+        "full_sample_fraction": _metric(
+            full_wall / plain, "time", "x", tol=1.0
+        ),
+        # The hard gate: exact counter, 1.0 iff overhead at the
+        # recommended 5% sampling rate stays <= 5% of the
+        # served-request wall.
+        "overhead_within_gate": _metric(
+            1.0 if fraction <= 0.05 else 0.0, "counter", "bool"
+        ),
+        "qlog_records": _metric(float(records), "counter", "records"),
+        "pairs": _metric(float(len(pairs)), "counter", "pairs"),
+    }
+
+
 def default_workloads() -> List[Workload]:
     """The standard PerfSuite (one Workload per execution mode)."""
     return [
@@ -560,6 +698,8 @@ def default_workloads() -> List[Workload]:
         Workload("index_invariants", _wl_index_invariants),
         Workload("explain_overhead", _wl_explain_overhead),
         Workload("audit_overhead", _wl_audit_overhead),
+        Workload("serve_replay", _wl_serve_replay),
+        Workload("qlog_overhead", _wl_qlog_overhead),
     ]
 
 

@@ -1,0 +1,462 @@
+"""Sliding-window latency SLOs: windowed quantiles, budgets, burn rates.
+
+The process-lifetime histograms behind ``parapll obs`` answer "how has
+this server behaved since startup"; an operator asks a different
+question — *is it healthy right now*.  This module keeps the last few
+minutes of request latencies in per-second rings, aggregates them over
+multiple resolutions (10 s / 1 m / 5 m by default), and evaluates
+declarative :class:`SLOTarget` objectives against them:
+
+* a **latency** target — "at least ``objective`` of requests complete
+  within ``threshold_seconds``" (the windowed form of a p99 bound);
+* an **availability** target — "at least ``objective`` of requests
+  succeed".
+
+Each target's **error budget** is ``1 - objective``; its **burn rate**
+is the bad-request fraction observed in its window divided by that
+budget.  Burn rate 1.0 means the window is consuming budget exactly as
+fast as the objective allows; sustained >1.0 means the SLO is being
+violated.  Crossing 1.0 emits an ``slo_breach`` flight-recorder event
+(``slo_recovered`` on the way back) and the live values are exported as
+``parapll_slo_*`` gauges, so a scrape or a failure dump shows SLO state
+without any polling loop.
+
+:meth:`SLOTracker.should_shed` is the load-shedding hook: it reports
+whether the worst burn rate exceeds a configurable multiple, recomputed
+at most once per second so the server's hot path pays one attribute
+read.  :class:`~repro.service.server.DistanceServer` uses it to
+fast-fail point/batch requests while introspection ops keep flowing —
+the generalization of the batch deadline abort to whole-server
+overload.
+
+The default tracker (:func:`get_tracker`) is process-wide, like the
+metrics registry: servers record into it unless given their own, and
+``repro.obs.reset()`` clears it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import config as _config
+from repro.obs import flightrec as _flightrec
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_QUANTILES,
+    histogram_quantile,
+)
+
+__all__ = [
+    "SLO_SCHEMA",
+    "DEFAULT_WINDOWS",
+    "DEFAULT_TARGETS",
+    "SLOTarget",
+    "SlidingWindowHistogram",
+    "SLOTracker",
+    "get_tracker",
+    "set_tracker",
+]
+
+SLO_SCHEMA = "parapll-slo/1"
+
+#: Aggregation resolutions, seconds (10 s / 1 m / 5 m).
+DEFAULT_WINDOWS: Tuple[int, ...] = (10, 60, 300)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One declarative service-level objective.
+
+    Attributes:
+        name: stable identifier (gauge label, report key).
+        kind: ``"latency"`` or ``"availability"``.
+        objective: required good-request fraction in ``(0, 1)``.
+        threshold_seconds: latency bound a request must meet to count
+            as good (latency targets only).
+        window_seconds: evaluation window.
+    """
+
+    name: str
+    kind: str = "latency"
+    objective: float = 0.99
+    threshold_seconds: Optional[float] = None
+    window_seconds: int = 60
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind == "latency" and (
+            self.threshold_seconds is None or self.threshold_seconds <= 0
+        ):
+            raise ValueError("latency targets need threshold_seconds > 0")
+        if self.window_seconds < 1:
+            raise ValueError("window_seconds must be >= 1")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad-request fraction."""
+        return 1.0 - self.objective
+
+
+#: The stock serving objectives: 99% of requests under 50 ms and
+#: 99.9% of requests succeeding, both over the last minute.
+DEFAULT_TARGETS: Tuple[SLOTarget, ...] = (
+    SLOTarget(
+        name="latency_p99_50ms",
+        kind="latency",
+        objective=0.99,
+        threshold_seconds=0.05,
+        window_seconds=60,
+    ),
+    SLOTarget(
+        name="availability",
+        kind="availability",
+        objective=0.999,
+        window_seconds=60,
+    ),
+)
+
+
+class _Slot:
+    """One second of observations: bucket counts + exact over-counts."""
+
+    __slots__ = ("second", "counts", "over", "sum", "count", "errors")
+
+    def __init__(self, second: int, buckets: int, thresholds: int) -> None:
+        self.second = second
+        self.counts = [0] * (buckets + 1)
+        #: observations strictly over each latency threshold.
+        self.over = [0] * thresholds
+        self.sum = 0.0
+        self.count = 0
+        self.errors = 0
+
+
+class SlidingWindowHistogram:
+    """Per-second latency rings aggregated over arbitrary windows.
+
+    Args:
+        bounds: inclusive histogram bucket upper edges (seconds).
+        thresholds: latency thresholds tracked *exactly* (per-slot
+            over-counts), so SLO targets are not quantized to bucket
+            edges.
+        horizon_seconds: how far back slots are retained; windows wider
+            than this cannot be aggregated.
+        clock: monotonic clock override (tests inject a fake).
+
+    One small lock guards each observe/aggregate; observations are a
+    bisect plus a handful of increments.
+    """
+
+    def __init__(
+        self,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        thresholds: Sequence[float] = (),
+        horizon_seconds: int = 360,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if horizon_seconds < 1:
+            raise ValueError("horizon_seconds must be >= 1")
+        self._bounds = tuple(float(b) for b in bounds)
+        self.thresholds = tuple(float(t) for t in thresholds)
+        self.horizon_seconds = int(horizon_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slots: List[Optional[_Slot]] = [None] * self.horizon_seconds
+        self.total_count = 0
+        self.total_errors = 0
+
+    def _slot_for(self, second: int) -> _Slot:
+        idx = second % self.horizon_seconds
+        slot = self._slots[idx]
+        if slot is None or slot.second != second:
+            slot = _Slot(second, len(self._bounds), len(self.thresholds))
+            self._slots[idx] = slot
+        return slot
+
+    def observe(self, seconds: float, ok: bool = True) -> None:
+        """Record one request latency (``ok=False`` marks a failure)."""
+        now_second = int(self._clock())
+        bucket = bisect_left(self._bounds, seconds)
+        with self._lock:
+            slot = self._slot_for(now_second)
+            slot.counts[bucket] += 1
+            slot.sum += seconds
+            slot.count += 1
+            if not ok:
+                slot.errors += 1
+            for i, threshold in enumerate(self.thresholds):
+                if seconds > threshold:
+                    slot.over[i] += 1
+            self.total_count += 1
+            if not ok:
+                self.total_errors += 1
+
+    def window(self, window_seconds: int) -> Dict[str, Any]:
+        """Aggregate the last *window_seconds* into one snapshot.
+
+        Returns:
+            ``{"window_seconds", "count", "errors", "sum", "buckets",
+            "over"}`` — ``buckets`` in the same cumulative
+            ``[[bound, cum], ...]`` shape the registry histograms use
+            (so :func:`repro.obs.metrics.histogram_quantile` applies),
+            ``over`` mapping each tracked threshold to its exact
+            over-threshold count.
+
+        Raises:
+            ValueError: for a window wider than the horizon.
+        """
+        if window_seconds < 1 or window_seconds > self.horizon_seconds:
+            raise ValueError(
+                f"window must be in [1, {self.horizon_seconds}] seconds"
+            )
+        now_second = int(self._clock())
+        counts = [0] * (len(self._bounds) + 1)
+        over = [0] * len(self.thresholds)
+        total = 0
+        errors = 0
+        acc = 0.0
+        with self._lock:
+            for second in range(now_second - window_seconds + 1, now_second + 1):
+                slot = self._slots[second % self.horizon_seconds]
+                if slot is None or slot.second != second:
+                    continue
+                for i, c in enumerate(slot.counts):
+                    counts[i] += c
+                for i, c in enumerate(slot.over):
+                    over[i] += c
+                total += slot.count
+                errors += slot.errors
+                acc += slot.sum
+        cumulative: List[List[Any]] = []
+        running = 0
+        for bound, c in zip(list(self._bounds) + ["+Inf"], counts):
+            running += c
+            cumulative.append([bound, running])
+        return {
+            "window_seconds": window_seconds,
+            "count": total,
+            "errors": errors,
+            "sum": acc,
+            "buckets": cumulative,
+            "over": {
+                repr(t): over[i] for i, t in enumerate(self.thresholds)
+            },
+        }
+
+    def quantile(self, window_seconds: int, q: float) -> float:
+        """Windowed *q*-quantile estimate (``nan`` when empty)."""
+        return histogram_quantile(self.window(window_seconds), q)
+
+    def reset(self) -> None:
+        """Drop every slot and the lifetime counters."""
+        with self._lock:
+            self._slots = [None] * self.horizon_seconds
+            self.total_count = 0
+            self.total_errors = 0
+
+
+class SLOTracker:
+    """Evaluates :class:`SLOTarget` objectives over sliding windows.
+
+    Args:
+        targets: the objectives to track (default
+            :data:`DEFAULT_TARGETS`).
+        windows: aggregation resolutions for the windowed quantiles
+            reported by :meth:`status` (default 10 s / 1 m / 5 m).
+        clock: monotonic clock override (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[SLOTarget] = DEFAULT_TARGETS,
+        windows: Sequence[int] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not targets:
+            raise ValueError("at least one SLO target is required")
+        names = [t.name for t in targets]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO target names must be unique")
+        self.targets = tuple(targets)
+        self.windows = tuple(sorted(set(int(w) for w in windows)))
+        if not self.windows or self.windows[0] < 1:
+            raise ValueError("windows must be positive")
+        horizon = max(
+            [t.window_seconds for t in self.targets] + list(self.windows)
+        ) + 60
+        self._clock = clock
+        thresholds = sorted(
+            {
+                t.threshold_seconds
+                for t in self.targets
+                if t.threshold_seconds is not None
+            }
+        )
+        self.histogram = SlidingWindowHistogram(
+            thresholds=thresholds, horizon_seconds=horizon, clock=clock
+        )
+        self._breached: Dict[str, bool] = {t.name: False for t in self.targets}
+        self._eval_lock = threading.Lock()
+        self._last_eval = float("-inf")
+        self._worst_burn = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, seconds: float, ok: bool = True) -> None:
+        """Record one served request (the hot-path entry point)."""
+        self.histogram.observe(seconds, ok=ok)
+
+    # ------------------------------------------------------------------
+    def _evaluate_target(self, target: SLOTarget) -> Dict[str, Any]:
+        snap = self.histogram.window(target.window_seconds)
+        count = snap["count"]
+        if target.kind == "availability":
+            bad = snap["errors"]
+        else:
+            bad = snap["over"][repr(target.threshold_seconds)] + snap["errors"]
+        bad_fraction = bad / count if count else 0.0
+        burn_rate = bad_fraction / target.budget
+        return {
+            "name": target.name,
+            "kind": target.kind,
+            "objective": target.objective,
+            "threshold_seconds": target.threshold_seconds,
+            "window_seconds": target.window_seconds,
+            "requests": count,
+            "bad_requests": bad,
+            "bad_fraction": bad_fraction,
+            "error_budget": target.budget,
+            "burn_rate": burn_rate,
+            "budget_remaining": max(0.0, 1.0 - burn_rate),
+            "breached": burn_rate > 1.0,
+        }
+
+    def evaluate(self) -> List[Dict[str, Any]]:
+        """Evaluate every target now; emits breach/recovery events.
+
+        Transitions across burn rate 1.0 are recorded into the flight
+        recorder and counted; the live burn rate and remaining budget
+        are mirrored onto the ``parapll_slo_*`` gauges.
+        """
+        results = [self._evaluate_target(t) for t in self.targets]
+        worst = 0.0
+        for result in results:
+            name = result["name"]
+            worst = max(worst, result["burn_rate"])
+            was = self._breached[name]
+            now = result["breached"]
+            if now and not was:
+                _flightrec.record(
+                    "slo_breach",
+                    target=name,
+                    burn_rate=round(result["burn_rate"], 3),
+                    bad_requests=result["bad_requests"],
+                    requests=result["requests"],
+                )
+            elif was and not now:
+                _flightrec.record(
+                    "slo_recovered",
+                    target=name,
+                    burn_rate=round(result["burn_rate"], 3),
+                )
+            self._breached[name] = now
+            if _config.METRICS:
+                from repro.obs.instruments import record_slo_target
+
+                record_slo_target(
+                    name,
+                    result["burn_rate"],
+                    result["budget_remaining"],
+                    breached=(now and not was),
+                )
+        self._worst_burn = worst
+        return results
+
+    def worst_burn_rate(self, max_age_seconds: float = 1.0) -> float:
+        """The highest burn rate across targets, recomputed lazily.
+
+        A full evaluation walks every window, so callers on the request
+        path get a value cached for up to *max_age_seconds* — overload
+        decisions do not need sub-second freshness.
+        """
+        now = self._clock()
+        with self._eval_lock:
+            if now - self._last_eval >= max_age_seconds:
+                self._last_eval = now
+                self.evaluate()
+            return self._worst_burn
+
+    def should_shed(
+        self, burn_rate_threshold: float, max_age_seconds: float = 1.0
+    ) -> bool:
+        """Whether load shedding should engage right now."""
+        return self.worst_burn_rate(max_age_seconds) > burn_rate_threshold
+
+    # ------------------------------------------------------------------
+    def windowed_quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[str, Dict[str, float]]:
+        """Latency quantiles per resolution window.
+
+        Returns:
+            ``{"10s": {"p50": ..., "p95": ..., "p99": ...}, ...}``;
+            windows with no samples are omitted.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for window in self.windows:
+            snap = self.histogram.window(window)
+            if not snap["count"]:
+                continue
+            out[_window_label(window)] = {
+                f"p{int(q * 100)}": histogram_quantile(snap, q) for q in qs
+            }
+        return out
+
+    def status(self) -> Dict[str, Any]:
+        """The full ``parapll-slo/1`` health document."""
+        targets = self.evaluate()
+        return {
+            "schema": SLO_SCHEMA,
+            "targets": targets,
+            "breached": [t["name"] for t in targets if t["breached"]],
+            "worst_burn_rate": self._worst_burn,
+            "windows": list(self.windows),
+            "windowed_latency_quantiles": self.windowed_quantiles(),
+            "requests_total": self.histogram.total_count,
+            "errors_total": self.histogram.total_errors,
+        }
+
+    def reset(self) -> None:
+        """Drop all windows and breach state (targets survive)."""
+        self.histogram.reset()
+        self._breached = {t.name: False for t in self.targets}
+        with self._eval_lock:
+            self._last_eval = float("-inf")
+            self._worst_burn = 0.0
+
+
+def _window_label(window_seconds: int) -> str:
+    if window_seconds % 60 == 0:
+        return f"{window_seconds // 60}m"
+    return f"{window_seconds}s"
+
+
+_default_tracker = SLOTracker()
+
+
+def get_tracker() -> SLOTracker:
+    """The process-wide default tracker (servers record into it)."""
+    return _default_tracker
+
+
+def set_tracker(tracker: SLOTracker) -> SLOTracker:
+    """Replace the process-wide default tracker; returns it."""
+    global _default_tracker
+    _default_tracker = tracker
+    return _default_tracker

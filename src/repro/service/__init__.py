@@ -8,9 +8,19 @@ module for search systems.  This package is that module:
   queries, batch queries, kNN, and request statistics.
 * :mod:`repro.service.server` — a line-delimited-JSON TCP server and
   client exposing the oracle over a socket, for out-of-process callers.
+* :mod:`repro.service.replay` — deterministic seeded traffic replay
+  (closed/open loop, Zipf/uniform/qlog sources) against the oracle or a
+  live server, with an SLO verdict (``parapll-replay/1``).
 """
 
 from repro.service.oracle import DistanceOracle, OracleStats
+from repro.service.replay import (
+    REPLAY_SCHEMA,
+    ReplayConfig,
+    generate_requests,
+    render_replay,
+    run_replay,
+)
 from repro.service.server import DistanceClient, DistanceServer
 
 __all__ = [
@@ -18,4 +28,9 @@ __all__ = [
     "OracleStats",
     "DistanceServer",
     "DistanceClient",
+    "REPLAY_SCHEMA",
+    "ReplayConfig",
+    "generate_requests",
+    "render_replay",
+    "run_replay",
 ]

@@ -12,14 +12,22 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.knn import KNNIndex
 from repro.errors import GraphError
 from repro.obs import config as _obs_config
+from repro.obs import qlog as _qlog
 from repro.obs.instruments import ORACLE_CACHE_HITS, ORACLE_QUERIES
 
 __all__ = ["DistanceOracle", "OracleStats"]
+
+_INF = float("inf")
+
+
+def _outcome(value: float) -> str:
+    return "unreachable" if value == _INF else "ok"
 
 
 @dataclass
@@ -79,7 +87,18 @@ class DistanceOracle:
         return self.index.num_vertices
 
     def distance(self, s: int, t: int) -> float:
-        """Cached exact distance between *s* and *t*."""
+        """Cached exact distance between *s* and *t*.
+
+        When a query-log recorder is installed
+        (:func:`repro.obs.qlog.install`), a sampled fraction of calls is
+        recorded with true service time; a sampled cache *miss* goes
+        through :meth:`PLLIndex.query <repro.core.index.PLLIndex.query>`
+        — same distance, same merge-join cost — so the record carries
+        the real ``entries_scanned``.  The unsampled path is unchanged.
+        """
+        recorder = _qlog._active
+        sampled = recorder is not None and recorder.should_sample()
+        t0 = perf_counter() if sampled else 0.0
         key = (s, t) if s <= t else (t, s)
         if _obs_config.METRICS:
             ORACLE_QUERIES.inc()
@@ -92,14 +111,41 @@ class DistanceOracle:
                     self.stats.cache_hits += 1
                     if _obs_config.METRICS:
                         ORACLE_CACHE_HITS.inc()
+                    if sampled:
+                        recorder.record(
+                            "distance",
+                            s,
+                            t,
+                            (perf_counter() - t0) * 1e6,
+                            cache_hit=True,
+                            outcome=_outcome(cached),
+                            req_id=_qlog.current_req_id(),
+                        )
                     return cached
-        value = self.index.distance(s, t)
+        scanned = 0
+        if sampled:
+            result = self.index.query(s, t)
+            value = result.distance
+            scanned = result.entries_scanned
+        else:
+            value = self.index.distance(s, t)
         if self.cache_size:
             with self._lock:
                 self._cache[key] = value
                 self._cache.move_to_end(key)
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
+        if sampled:
+            recorder.record(
+                "distance",
+                s,
+                t,
+                (perf_counter() - t0) * 1e6,
+                cache_hit=False,
+                entries_scanned=scanned,
+                outcome=_outcome(value),
+                req_id=_qlog.current_req_id(),
+            )
         return value
 
     def batch(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
@@ -111,13 +157,18 @@ class DistanceOracle:
         <repro.core.index.PLLIndex.distance_batch>`) instead of a
         per-pair Python loop, and are inserted into the cache after.
         Per-pair counters advance as if each pair were served
-        individually.
+        individually.  With a query-log recorder installed, each pair is
+        independently sampled and recorded with ``op="batch"`` and the
+        batch wall amortised over its pairs (the vectorised kernel does
+        not time or scan-count pairs individually).
         """
         self.start_batch()
         norm = [(int(s), int(t)) for s, t in pairs]
         m = len(norm)
         if m == 0:
             return []
+        recorder = _qlog._active
+        t0 = perf_counter() if recorder is not None else 0.0
         if _obs_config.METRICS:
             ORACLE_QUERIES.inc(m)
         out: List[float] = [0.0] * m
@@ -154,6 +205,23 @@ class DistanceOracle:
                         self._cache.move_to_end(key)
                     while len(self._cache) > self.cache_size:
                         self._cache.popitem(last=False)
+        if recorder is not None:
+            per_pair_us = (perf_counter() - t0) * 1e6 / m
+            req_id = _qlog.current_req_id()
+            miss_positions = {
+                i for positions in misses.values() for i in positions
+            }
+            for i, (s, t) in enumerate(norm):
+                if recorder.should_sample():
+                    recorder.record(
+                        "batch",
+                        s,
+                        t,
+                        per_pair_us,
+                        cache_hit=i not in miss_positions,
+                        outcome=_outcome(out[i]),
+                        req_id=req_id,
+                    )
         return out
 
     def start_batch(self) -> None:

@@ -1,0 +1,387 @@
+"""Deterministic traffic replay against an oracle or a live server.
+
+The ParaPLL serving claim is microsecond lookups *under traffic*, so
+the load has to be reproducible before any number derived from it is
+trustworthy.  This driver turns a :class:`ReplayConfig` plus a seed
+into an exact request sequence (:func:`generate_requests` is a pure
+function — same seed and config, same pairs, every run) and pushes it
+through one of two standard harness shapes:
+
+* **closed-loop** — ``clients`` concurrent workers, each issuing its
+  share of the sequence back-to-back.  Measures capacity: how fast the
+  target can go when offered unlimited demand.
+* **open-loop** — Poisson arrivals at a target ``rate``; the driver
+  sleeps to each seeded arrival time and hands the request to a worker
+  pool.  Measures behaviour at a *given* demand, including the
+  coordinated-omission signal closed loops hide (``max_lag_seconds``
+  reports how far dispatch fell behind schedule).
+
+Traffic comes from three sources: ``zipf`` (rank-frequency skewed
+vertex popularity over a seeded permutation — the social-network shape
+of hop-doubling labeling, arXiv 1403.0779), ``uniform``, or ``qlog``
+(replay a captured :mod:`repro.obs.qlog` sequence, cycled to length).
+
+The target is either an in-process :class:`DistanceOracle` or a live
+TCP server (one :class:`DistanceClient` per worker).  Results are
+recorded into a private :class:`~repro.obs.slo.SLOTracker`, and the
+``parapll-replay/1`` report carries throughput, exact
+p50/p95/p99 latencies and the SLO verdict — the gate ROADMAP item 2's
+sharded tier will be accepted against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.slo import DEFAULT_TARGETS, SLOTarget, SLOTracker
+from repro.obs.workload import exact_quantile
+
+__all__ = [
+    "REPLAY_SCHEMA",
+    "ReplayConfig",
+    "generate_requests",
+    "run_replay",
+    "render_replay",
+]
+
+REPLAY_SCHEMA = "parapll-replay/1"
+
+_MODES = ("closed", "open")
+_SOURCES = ("zipf", "uniform", "qlog")
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """One replay run, fully specified.
+
+    Attributes:
+        mode: ``"closed"`` (N workers, back-to-back) or ``"open"``
+            (Poisson arrivals at *rate*).
+        source: ``"zipf"``, ``"uniform"`` or ``"qlog"``.
+        requests: total requests to issue.
+        clients: worker count (closed-loop concurrency / open-loop pool
+            size).
+        rate: open-loop target arrival rate, requests/second.
+        seed: drives pair generation, Zipf popularity assignment and
+            Poisson arrivals — the whole run is a function of it.
+        zipf_alpha: skew exponent for the ``zipf`` source.
+    """
+
+    mode: str = "closed"
+    source: str = "zipf"
+    requests: int = 1000
+    clients: int = 4
+    rate: float = 1000.0
+    seed: int = 0
+    zipf_alpha: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        if self.source not in _SOURCES:
+            raise ValueError(f"source must be one of {_SOURCES}")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop rate must be positive")
+        if self.zipf_alpha <= 0:
+            raise ValueError("zipf_alpha must be positive")
+
+
+def _zipf_sampler(
+    n_vertices: int, alpha: float, rng: random.Random
+) -> Callable[[], int]:
+    """A seeded sampler of vertex ids with Zipf rank-frequency skew.
+
+    Popularity ranks are assigned to vertex ids by a seeded shuffle
+    (so the hot set is not just the low ids), then ranks are drawn by
+    inverse CDF over ``rank^-alpha`` weights.
+    """
+    by_rank = list(range(n_vertices))
+    rng.shuffle(by_rank)
+    cumulative: List[float] = []
+    acc = 0.0
+    for rank in range(1, n_vertices + 1):
+        acc += rank**-alpha
+        cumulative.append(acc)
+    total = cumulative[-1]
+    from bisect import bisect_left
+
+    def sample() -> int:
+        r = rng.random() * total
+        return by_rank[bisect_left(cumulative, r)]
+
+    return sample
+
+
+def generate_requests(
+    config: ReplayConfig,
+    n_vertices: int,
+    qlog_records: Optional[Sequence[Dict[str, Any]]] = None,
+) -> List[Tuple[int, int]]:
+    """The exact request sequence for one replay — a pure function.
+
+    Args:
+        config: the replay configuration (its ``seed`` decides
+            everything random here).
+        n_vertices: vertex-id space for synthesized traffic.
+        qlog_records: parsed qlog records, required for
+            ``source="qlog"`` — their ``(s, t)`` pairs are replayed in
+            capture order, cycled to ``config.requests``.
+
+    Raises:
+        ReproError: qlog source without records, or an empty id space.
+    """
+    if config.source == "qlog":
+        if not qlog_records:
+            raise ReproError("qlog source needs a non-empty capture")
+        pairs = [(int(r["s"]), int(r["t"])) for r in qlog_records]
+        return [pairs[i % len(pairs)] for i in range(config.requests)]
+    if n_vertices < 2:
+        raise ReproError("need at least 2 vertices to synthesize pairs")
+    rng = random.Random(config.seed)
+    out: List[Tuple[int, int]] = []
+    if config.source == "zipf":
+        sample = _zipf_sampler(n_vertices, config.zipf_alpha, rng)
+    else:
+        sample = lambda: rng.randrange(n_vertices)  # noqa: E731
+    while len(out) < config.requests:
+        s = sample()
+        t = sample()
+        if s == t:
+            continue
+        out.append((s, t))
+    return out
+
+
+def _arrival_offsets(config: ReplayConfig) -> List[float]:
+    """Seeded Poisson arrival times (seconds from start), open loop."""
+    rng = random.Random(config.seed + 0x9E3779B9)
+    acc = 0.0
+    out: List[float] = []
+    for _ in range(config.requests):
+        acc += rng.expovariate(config.rate)
+        out.append(acc)
+    return out
+
+
+def _issue_one(
+    issue: Callable[[int, int], float],
+    pair: Tuple[int, int],
+    tracker: SLOTracker,
+) -> Tuple[float, str]:
+    """Issue one request; returns ``(latency_seconds, outcome)``."""
+    s, t = pair
+    t0 = perf_counter()
+    try:
+        d = issue(s, t)
+    except ReproError:
+        elapsed = perf_counter() - t0
+        tracker.record(elapsed, ok=False)
+        return elapsed, "error"
+    elapsed = perf_counter() - t0
+    tracker.record(elapsed, ok=True)
+    outcome = "unreachable" if d == math.inf else "ok"
+    return elapsed, outcome
+
+
+def run_replay(
+    config: ReplayConfig,
+    oracle: Any = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    qlog_records: Optional[Sequence[Dict[str, Any]]] = None,
+    targets: Sequence[SLOTarget] = DEFAULT_TARGETS,
+) -> Dict[str, Any]:
+    """Run one replay and return the ``parapll-replay/1`` report.
+
+    Exactly one target must be given: an in-process *oracle*
+    (:class:`~repro.service.oracle.DistanceOracle`), or *host*/*port*
+    of a live server (each worker opens its own
+    :class:`~repro.service.server.DistanceClient`).
+
+    Args:
+        config: what to replay and how.
+        oracle: in-process target.
+        host: live-server address.
+        port: live-server port.
+        qlog_records: capture to replay when ``config.source="qlog"``.
+        targets: SLO objectives the verdict is evaluated against.
+
+    Returns:
+        The report dict: config echo, throughput, exact latency
+        quantiles, per-outcome counts, the SLO status document and a
+        ``verdict`` (``pass`` iff no target's burn rate exceeded 1.0).
+
+    Raises:
+        ReproError: neither or both targets specified.
+    """
+    live = host is not None and port is not None
+    if live == (oracle is not None):
+        raise ReproError("give exactly one target: oracle, or host+port")
+    n_vertices = oracle.num_vertices if oracle is not None else 1 << 30
+    if config.source != "qlog" and oracle is None:
+        # A live server does not expose its vertex count over the
+        # config; ask it.
+        from repro.service.server import DistanceClient
+
+        with DistanceClient(host, port) as probe:
+            n_vertices = int(probe.status()["index"]["vertices"])
+    pairs = generate_requests(config, n_vertices, qlog_records)
+    tracker = SLOTracker(targets=targets)
+
+    def make_issue() -> Tuple[Callable[[int, int], float], Callable[[], None]]:
+        """Per-worker issue function + cleanup."""
+        if oracle is not None:
+            return oracle.distance, lambda: None
+        from repro.service.server import DistanceClient
+
+        client = DistanceClient(host, port)
+        return client.distance, client.close
+
+    results: List[Optional[Tuple[float, str]]] = [None] * len(pairs)
+    max_lag = 0.0
+    wall_start = perf_counter()
+
+    if config.mode == "closed":
+
+        def worker(worker_idx: int) -> None:
+            issue, cleanup = make_issue()
+            try:
+                for j in range(worker_idx, len(pairs), config.clients):
+                    results[j] = _issue_one(issue, pairs[j], tracker)
+            finally:
+                cleanup()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(config.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        offsets = _arrival_offsets(config)
+        local = threading.local()
+        cleanups: List[Callable[[], None]] = []
+        cleanup_lock = threading.Lock()
+
+        def task(j: int) -> None:
+            if not hasattr(local, "issue"):
+                issue, cleanup = make_issue()
+                local.issue = issue
+                with cleanup_lock:
+                    cleanups.append(cleanup)
+            results[j] = _issue_one(local.issue, pairs[j], tracker)
+
+        with ThreadPoolExecutor(max_workers=config.clients) as pool:
+            futures = []
+            for j, offset in enumerate(offsets):
+                delay = (wall_start + offset) - perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                else:
+                    max_lag = max(max_lag, -delay)
+                futures.append(pool.submit(task, j))
+            for future in futures:
+                future.result()
+        for cleanup in cleanups:
+            cleanup()
+
+    wall = perf_counter() - wall_start
+    done = [r for r in results if r is not None]
+    latencies = sorted(latency for latency, _ in done)
+    outcomes: Dict[str, int] = {}
+    for _, outcome in done:
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    slo_status = tracker.status()
+    report: Dict[str, Any] = {
+        "schema": REPLAY_SCHEMA,
+        "config": asdict(config),
+        "target": f"{host}:{port}" if live else "inprocess",
+        "requests": len(done),
+        "outcomes": outcomes,
+        "wall_seconds": wall,
+        "throughput_rps": len(done) / wall if wall > 0 else 0.0,
+        "latency_us": {
+            "mean": (sum(latencies) / len(latencies)) * 1e6
+            if latencies
+            else 0.0,
+            "p50": exact_quantile(latencies, 0.50) * 1e6,
+            "p95": exact_quantile(latencies, 0.95) * 1e6,
+            "p99": exact_quantile(latencies, 0.99) * 1e6,
+            "max": latencies[-1] * 1e6 if latencies else 0.0,
+        },
+        "slo": slo_status,
+        "verdict": {
+            "pass": not slo_status["breached"],
+            "breached": slo_status["breached"],
+        },
+    }
+    if config.mode == "open":
+        report["open_loop"] = {
+            "target_rate": config.rate,
+            "achieved_rate": len(done) / wall if wall > 0 else 0.0,
+            "max_lag_seconds": max_lag,
+        }
+    return report
+
+
+def render_replay(report: Dict[str, Any]) -> str:
+    """Render a replay report as terminal text."""
+    cfg = report["config"]
+    lat = report["latency_us"]
+    verdict = report["verdict"]
+    lines = [
+        (
+            f"replay: {report['requests']} requests "
+            f"({cfg['mode']}-loop, {cfg['source']} source, "
+            f"seed={cfg['seed']}) against {report['target']}"
+        ),
+        (
+            f"  wall {report['wall_seconds']:.3f}s  "
+            f"throughput {report['throughput_rps']:.0f} req/s"
+        ),
+        (
+            f"  latency_us: p50={lat['p50']:.1f} p95={lat['p95']:.1f} "
+            f"p99={lat['p99']:.1f} max={lat['max']:.1f}"
+        ),
+        "  outcomes: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(report["outcomes"].items())),
+    ]
+    if "open_loop" in report:
+        ol = report["open_loop"]
+        lines.append(
+            f"  open loop: target {ol['target_rate']:.0f} req/s, "
+            f"achieved {ol['achieved_rate']:.0f} req/s, "
+            f"max dispatch lag {ol['max_lag_seconds'] * 1e3:.1f}ms"
+        )
+    for target in report["slo"]["targets"]:
+        status = "BREACH" if target["breached"] else "ok"
+        lines.append(
+            f"  slo {target['name']}: burn_rate="
+            f"{target['burn_rate']:.2f} "
+            f"budget_remaining={target['budget_remaining']:.1%} "
+            f"[{status}]"
+        )
+    lines.append(
+        "  verdict: " + ("PASS" if verdict["pass"] else "FAIL")
+        + (
+            f" (breached: {', '.join(verdict['breached'])})"
+            if verdict["breached"]
+            else ""
+        )
+    )
+    return "\n".join(lines)

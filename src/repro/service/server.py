@@ -11,6 +11,7 @@ Requests::
     {"op": "explain", "s": 3, "t": 42}
     {"op": "stats"}
     {"op": "status"}
+    {"op": "health"}
     {"op": "audit"}
     {"op": "debug"}
     {"op": "metrics"}
@@ -53,12 +54,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.obs import flightrec as _flightrec
+from repro.obs import qlog as _qlog
+from repro.obs import slo as _slo
 from repro.obs import trace as _trace
 from repro.obs.instruments import (
     SERVICE_LATENCY,
     SERVICE_MALFORMED,
     record_batch_pair,
     record_request,
+    record_shed,
     record_slow_request,
 )
 from repro.obs.metrics import DEFAULT_QUANTILES, get_registry
@@ -67,6 +71,16 @@ from repro.service.oracle import DistanceOracle
 __all__ = ["DistanceServer", "DistanceClient"]
 
 logger = logging.getLogger("repro.service")
+
+#: Ops whose latency/outcome feed the sliding-window SLO tracker.
+#: Introspection ops (stats/metrics/audit/...) are deliberately
+#: excluded: an expensive on-demand audit is not a serving failure.
+SLO_OPS = frozenset({"ping", "distance", "batch", "knn", "path", "explain"})
+
+#: Ops the load shedder may fast-fail when the burn rate is critical.
+#: Everything else keeps flowing so operators can still introspect an
+#: overloaded server.
+SHEDDABLE_OPS = frozenset({"distance", "batch"})
 
 
 def _encode(value: float) -> Any:
@@ -103,17 +117,22 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
                 continue
             t0 = time.perf_counter()
-            server.enter_request()  # type: ignore[attr-defined]
-            try:
-                response = _dispatch(oracle, req, server)
-            except ReproError as exc:
-                response = {"ok": False, "error": str(exc)}
-            except (ValueError, KeyError, TypeError) as exc:
-                response = {"ok": False, "error": f"bad request: {exc}"}
-            finally:
-                server.exit_request()  # type: ignore[attr-defined]
-            elapsed = time.perf_counter() - t0
             op = req.get("op")
+            shed = op in SHEDDABLE_OPS and server.should_shed()  # type: ignore[attr-defined]
+            if shed:
+                response = _shed_response(op, req, server, req_id)
+            else:
+                server.enter_request()  # type: ignore[attr-defined]
+                try:
+                    with _qlog.request_scope(req_id):
+                        response = _dispatch(oracle, req, server)
+                except ReproError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except (ValueError, KeyError, TypeError) as exc:
+                    response = {"ok": False, "error": f"bad request: {exc}"}
+                finally:
+                    server.exit_request()  # type: ignore[attr-defined]
+            elapsed = time.perf_counter() - t0
             # The batch op observes per-pair latencies itself; one
             # whole-request sample would skew the histogram.
             record_request(
@@ -122,6 +141,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 bool(response.get("ok")),
                 include_latency=(op != "batch"),
             )
+            # Shed fast-fails are excluded from the SLO windows: if they
+            # counted as errors, shedding would keep its own burn rate
+            # above threshold and never disengage.
+            if not shed and op in SLO_OPS:
+                server.slo_tracker.record(  # type: ignore[attr-defined]
+                    elapsed, ok=bool(response.get("ok"))
+                )
             threshold = server.slow_query_seconds  # type: ignore[attr-defined]
             if threshold is not None and elapsed >= threshold:
                 record_slow_request(op)
@@ -167,6 +193,56 @@ def _latency_quantiles() -> Dict[str, Dict[str, float]]:
     return out
 
 
+def _shed_response(
+    op: str, req: Dict[str, Any], server: Any, req_id: int
+) -> Dict[str, Any]:
+    """Fast-fail one sheddable request without touching the oracle.
+
+    The refusal is recorded everywhere an operator would look — shed
+    counter, flight recorder, and (for well-formed requests) the query
+    log with ``outcome="shed"`` — but deliberately *not* into the SLO
+    windows (see the caller).
+    """
+    record_shed(op)
+    server.count_shed()
+    burn = server.slo_tracker.worst_burn_rate()
+    _flightrec.record(
+        "request_shed", op=op, req_id=req_id, burn_rate=round(burn, 3)
+    )
+    try:
+        if op == "distance":
+            _qlog.record_query(
+                "distance",
+                int(req["s"]),
+                int(req["t"]),
+                0.0,
+                outcome="shed",
+                req_id=req_id,
+            )
+        elif op == "batch":
+            for a, b in req["pairs"]:
+                _qlog.record_query(
+                    "batch",
+                    int(a),
+                    int(b),
+                    0.0,
+                    outcome="shed",
+                    req_id=req_id,
+                )
+    except (KeyError, ValueError, TypeError):
+        # A malformed shed request gets no qlog records; the shed
+        # response below already tells the client what happened.
+        pass
+    return {
+        "ok": False,
+        "error": (
+            f"{op} shed: SLO burn rate {burn:.2f} over threshold "
+            f"{server.shed_burn_rate}"
+        ),
+        "shed": True,
+    }
+
+
 def _slow_request_total() -> int:
     from repro.obs.instruments import SERVICE_SLOW
 
@@ -201,6 +277,9 @@ def _dispatch(
         return {"ok": True, "explain": explanation.to_dict()}
     if op == "stats":
         s = oracle.stats
+        tracker = (
+            server.slo_tracker if server is not None else _slo.get_tracker()
+        )
         return {
             "ok": True,
             "queries": s.queries,
@@ -212,6 +291,30 @@ def _dispatch(
             ),
             "slow_requests": _slow_request_total(),
             "latency_quantiles": _latency_quantiles(),
+            "windowed_latency_quantiles": tracker.windowed_quantiles(),
+        }
+    if op == "health":
+        tracker = (
+            server.slo_tracker if server is not None else _slo.get_tracker()
+        )
+        status = tracker.status()
+        shed_threshold = (
+            server.shed_burn_rate if server is not None else None
+        )
+        return {
+            "ok": True,
+            "schema": _slo.SLO_SCHEMA,
+            "slo": status,
+            "shedding": {
+                "burn_rate_threshold": shed_threshold,
+                "active": (
+                    shed_threshold is not None
+                    and status["worst_burn_rate"] > shed_threshold
+                ),
+                "shed_requests": (
+                    server.shed_count if server is not None else 0
+                ),
+            },
         }
     if op == "status":
         store = oracle.index.store
@@ -316,6 +419,22 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         self.start_monotonic = time.monotonic()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        self.slo_tracker: _slo.SLOTracker = _slo.get_tracker()
+        self.shed_burn_rate: Optional[float] = None
+        self.shed_count = 0
+        self._shed_lock = threading.Lock()
+
+    def should_shed(self) -> bool:
+        """Whether the load shedder is currently engaged."""
+        threshold = self.shed_burn_rate
+        return threshold is not None and self.slo_tracker.should_shed(
+            threshold
+        )
+
+    def count_shed(self) -> None:
+        """Record one fast-failed request (thread-safe)."""
+        with self._shed_lock:
+            self.shed_count += 1
 
     def next_request_id(self) -> int:
         """A server-unique id for one incoming request line."""
@@ -355,6 +474,13 @@ class DistanceServer:
         slow_query_seconds: requests taking at least this long are
             logged, counted and (when tracing is on) recorded as
             ``slow_query`` trace events; ``None`` disables the check.
+        slo_tracker: the sliding-window SLO tracker to record serving
+            latencies into; defaults to the process-wide tracker
+            (:func:`repro.obs.slo.get_tracker`).
+        shed_burn_rate: when set, point/batch requests are fast-failed
+            (``ok=false`` with ``shed=true``) while any SLO target's
+            burn rate exceeds this multiple — introspection ops keep
+            flowing.  ``None`` (default) disables load shedding.
 
     Use as a context manager::
 
@@ -369,16 +495,33 @@ class DistanceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         slow_query_seconds: Optional[float] = 0.5,
+        slo_tracker: Optional[_slo.SLOTracker] = None,
+        shed_burn_rate: Optional[float] = None,
     ) -> None:
         if slow_query_seconds is not None and slow_query_seconds < 0:
             raise ReproError("slow_query_seconds must be non-negative")
+        if shed_burn_rate is not None and shed_burn_rate <= 0:
+            raise ReproError("shed_burn_rate must be positive")
         self._tcp = _TCPServer(
             (host, port), _Handler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
         self._tcp.oracle = oracle  # type: ignore[attr-defined]
         self._tcp.slow_query_seconds = slow_query_seconds
+        if slo_tracker is not None:
+            self._tcp.slo_tracker = slo_tracker
+        self._tcp.shed_burn_rate = shed_burn_rate
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def slo_tracker(self) -> _slo.SLOTracker:
+        """The SLO tracker this server records into."""
+        return self._tcp.slo_tracker
+
+    @property
+    def shed_count(self) -> int:
+        """Requests fast-failed by the load shedder since startup."""
+        return self._tcp.shed_count
 
     @property
     def port(self) -> int:
@@ -415,16 +558,62 @@ class DistanceServer:
 class DistanceClient:
     """Blocking client for :class:`DistanceServer`.
 
+    Connecting retries transient failures (server still binding, socket
+    backlog full) with exponential backoff plus deterministic jitter
+    seeded from the endpoint, so a replay driver launching hundreds of
+    clients does not stampede a just-started server.
+
     Args:
         host: server address.
         port: server port.
         timeout: socket timeout, seconds.
+        connect_retries: additional connection attempts after the first
+            failure (0 restores the old fail-fast behaviour).
+        retry_backoff: base sleep before retry *k* — the actual sleep is
+            ``retry_backoff * 2**k`` plus up to 50% jitter.
     """
 
     def __init__(
-        self, host: str, port: int, timeout: float = 10.0
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        connect_retries: int = 3,
+        retry_backoff: float = 0.05,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if connect_retries < 0:
+            raise ReproError("connect_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ReproError("retry_backoff must be non-negative")
+        import random
+
+        rng = random.Random((hash(host) << 16) ^ port)
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError as exc:
+                if attempt >= connect_retries:
+                    raise ReproError(
+                        f"could not connect to {host}:{port} after "
+                        f"{attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                sleep = retry_backoff * (2**attempt)
+                sleep += sleep * 0.5 * rng.random()
+                logger.debug(
+                    "connect to %s:%d failed (%s); retry %d/%d in %.3fs",
+                    host,
+                    port,
+                    exc,
+                    attempt + 1,
+                    connect_retries,
+                    sleep,
+                )
+                time.sleep(sleep)
+                attempt += 1
         self._file = self._sock.makefile("rwb")
 
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -435,7 +624,11 @@ class DistanceClient:
             raise ReproError("server closed the connection")
         response = json.loads(line)
         if not response.get("ok"):
-            raise ReproError(response.get("error", "unknown server error"))
+            message = response.get("error", "unknown server error")
+            req_id = response.get("req_id")
+            if req_id is not None:
+                message = f"{message} (req_id={req_id})"
+            raise ReproError(message)
         return response
 
     def ping(self) -> bool:
@@ -493,6 +686,19 @@ class DistanceClient:
     def stats(self) -> Dict[str, Any]:
         """Server-side request counters."""
         out = self._call({"op": "stats"})
+        out.pop("ok", None)
+        return out
+
+    def health(self) -> Dict[str, Any]:
+        """The server's SLO health document.
+
+        Returns:
+            dict with ``slo`` (the ``parapll-slo/1`` status: per-target
+            burn rates, error budgets, breaches, windowed latency
+            quantiles) and ``shedding`` (threshold, whether the shedder
+            is engaged, requests fast-failed so far).
+        """
+        out = self._call({"op": "health"})
         out.pop("ok", None)
         return out
 

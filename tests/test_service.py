@@ -577,3 +577,233 @@ class TestConcurrentIntrospection:
                 status = client.status()
         assert status["malformed_lines"] == 0
         obs.reset()
+
+
+class TestErrorPaths:
+    """Server/oracle failure modes: bad ids, eviction order, retries."""
+
+    def test_distance_out_of_range_vertex(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                with pytest.raises(ReproError) as excinfo:
+                    client.distance(0, index.num_vertices + 5)
+        assert "req_id=" in str(excinfo.value)
+
+    def test_batch_out_of_range_vertex(self, index):
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                with pytest.raises(ReproError):
+                    client.batch([(0, 1), (0, index.num_vertices)])
+                # The connection survives the refused request.
+                assert client.ping()
+
+    def test_lru_eviction_order_interleaved(self, index):
+        """Point and batch traffic share one LRU, strict recency order."""
+        oracle = DistanceOracle(index, cache_size=2)
+        oracle.distance(0, 1)  # cache: [(0,1)]
+        oracle.batch([(0, 2)])  # cache: [(0,1), (0,2)]
+        oracle.distance(1, 0)  # symmetric hit refreshes (0,1)
+        assert oracle.stats.cache_hits == 1
+        oracle.batch([(0, 3)])  # full: evicts (0,2), keeps hot (0,1)
+        hits_before = oracle.stats.cache_hits
+        oracle.distance(0, 1)  # survived
+        assert oracle.stats.cache_hits == hits_before + 1
+        oracle.distance(0, 2)  # evicted -> miss
+        assert oracle.stats.cache_hits == hits_before + 1
+        entries, cap = oracle.cache_info()
+        assert entries == 2 and cap == 2
+
+    def test_client_fail_fast_without_retries(self):
+        import socket as _socket
+
+        # A bound-but-unlistened port refuses connections immediately.
+        probe = _socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ReproError) as excinfo:
+            DistanceClient("127.0.0.1", port, connect_retries=0)
+        assert "after 1 attempt(s)" in str(excinfo.value)
+
+    def test_client_retries_until_server_appears(self, index):
+        import socket as _socket
+
+        probe = _socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        oracle = DistanceOracle(index)
+        holder = {}
+
+        def late_start():
+            import time as _time
+
+            _time.sleep(0.15)
+            holder["server"] = DistanceServer(
+                oracle, port=port
+            ).start()
+
+        starter = threading.Thread(target=late_start)
+        starter.start()
+        try:
+            client = DistanceClient(
+                "127.0.0.1",
+                port,
+                connect_retries=8,
+                retry_backoff=0.05,
+            )
+            try:
+                assert client.ping()
+            finally:
+                client.close()
+        finally:
+            starter.join()
+            holder["server"].stop()
+
+    def test_client_rejects_bad_retry_config(self):
+        with pytest.raises(ReproError):
+            DistanceClient("127.0.0.1", 1, connect_retries=-1)
+
+
+class TestSLOServing:
+    """The health op, windowed stats and burn-rate load shedding."""
+
+    @pytest.fixture()
+    def slo_server(self, index):
+        from repro.obs.slo import SLOTracker
+
+        oracle = DistanceOracle(index)
+        with DistanceServer(oracle, slo_tracker=SLOTracker()) as srv:
+            yield srv
+
+    def test_health_reports_targets_and_burn(self, slo_server):
+        with DistanceClient("127.0.0.1", slo_server.port) as client:
+            for t in range(1, 8):
+                client.distance(0, t)
+            health = client.health()
+        slo = health["slo"]
+        assert slo["schema"] == "parapll-slo/1"
+        names = {t["name"] for t in slo["targets"]}
+        assert names == {"latency_p99_50ms", "availability"}
+        for target in slo["targets"]:
+            assert target["burn_rate"] == 0.0
+            assert not target["breached"]
+        assert slo["breached"] == []
+        assert slo["requests_total"] >= 7
+        assert health["shedding"]["burn_rate_threshold"] is None
+        assert health["shedding"]["active"] is False
+        assert health["shedding"]["shed_requests"] == 0
+
+    def test_stats_windowed_quantiles(self, slo_server):
+        with DistanceClient("127.0.0.1", slo_server.port) as client:
+            for t in range(1, 6):
+                client.distance(0, t)
+            stats = client.stats()
+        windowed = stats["windowed_latency_quantiles"]
+        assert "10s" in windowed
+        assert set(windowed["10s"]) == {"p50", "p95", "p99"}
+        assert windowed["10s"]["p50"] >= 0.0
+
+    def test_introspection_excluded_from_slo(self, slo_server):
+        with DistanceClient("127.0.0.1", slo_server.port) as client:
+            client.distance(0, 1)
+            client.stats()
+            client.metrics()
+            client.status()
+            health = client.health()
+        # Only ping/distance/... feed the windows, not stats/metrics.
+        assert health["slo"]["requests_total"] == 1
+
+    def test_shedding_fast_fails_point_and_batch(self, index):
+        from repro import obs
+        from repro.obs.slo import SLOTarget, SLOTracker
+
+        obs.reset()
+        tracker = SLOTracker(
+            targets=(
+                SLOTarget(
+                    name="strict",
+                    kind="latency",
+                    objective=0.9,
+                    threshold_seconds=1e-9,
+                    window_seconds=60,
+                ),
+            )
+        )
+        for _ in range(20):
+            tracker.record(0.01)  # burn: 1.0 / 0.1 budget = 10x
+        oracle = DistanceOracle(index)
+        with DistanceServer(
+            oracle, slo_tracker=tracker, shed_burn_rate=1.0
+        ) as server:
+            with DistanceClient("127.0.0.1", server.port) as client:
+                with pytest.raises(ReproError) as excinfo:
+                    client.distance(0, 1)
+                assert "shed" in str(excinfo.value)
+                with pytest.raises(ReproError):
+                    client.batch([(0, 1)])
+                # Introspection keeps flowing under overload.
+                assert client.ping()
+                health = client.health()
+                stats = client.stats()
+            assert server.shed_count == 2
+        assert health["shedding"]["active"] is True
+        assert health["shedding"]["shed_requests"] >= 1
+        # The oracle never saw the shed requests.
+        assert stats["queries"] == 0
+        obs.reset()
+
+    def test_shed_requests_logged_to_qlog(self, index):
+        from repro import obs
+        from repro.obs.qlog import QueryLogRecorder, recording
+        from repro.obs.slo import SLOTarget, SLOTracker
+
+        obs.reset()
+        tracker = SLOTracker(
+            targets=(
+                SLOTarget(
+                    name="strict",
+                    kind="latency",
+                    objective=0.9,
+                    threshold_seconds=1e-9,
+                    window_seconds=60,
+                ),
+            )
+        )
+        for _ in range(20):
+            tracker.record(0.01)
+        oracle = DistanceOracle(index)
+        with recording(QueryLogRecorder(sample=1.0)) as rec:
+            with DistanceServer(
+                oracle, slo_tracker=tracker, shed_burn_rate=1.0
+            ) as server:
+                with DistanceClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ReproError):
+                        client.distance(3, 4)
+        records = rec.snapshot()
+        assert len(records) == 1
+        assert records[0]["outcome"] == "shed"
+        assert records[0]["s"] == 3 and records[0]["t"] == 4
+        assert records[0]["req_id"] is not None
+        obs.reset()
+
+    def test_shed_rejects_bad_threshold(self, index):
+        with pytest.raises(ReproError):
+            DistanceServer(DistanceOracle(index), shed_burn_rate=0.0)
+
+    def test_server_qlog_records_carry_req_id(self, index):
+        from repro.obs.qlog import QueryLogRecorder, recording
+
+        oracle = DistanceOracle(index)
+        with recording(QueryLogRecorder(sample=1.0)) as rec:
+            with DistanceServer(oracle) as server:
+                with DistanceClient("127.0.0.1", server.port) as client:
+                    client.distance(0, 5)
+                    client.batch([(1, 2), (3, 4)])
+        records = rec.snapshot()
+        assert len(records) == 3
+        assert all(r["req_id"] is not None for r in records)
+        # Both batch pairs share their request's id.
+        assert records[1]["req_id"] == records[2]["req_id"]

@@ -1,0 +1,273 @@
+"""Tests for the sliding-window SLO engine (repro.obs.slo)."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import flightrec as _flightrec
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    SLOTarget,
+    SLOTracker,
+    SlidingWindowHistogram,
+    get_tracker,
+)
+
+
+class FakeClock:
+    """A controllable monotonic clock for deterministic window tests."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSLOTarget:
+    def test_budget(self):
+        target = SLOTarget(
+            name="t", objective=0.99, threshold_seconds=0.05
+        )
+        assert target.budget == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOTarget(name="t", kind="weird", threshold_seconds=0.1)
+        with pytest.raises(ValueError):
+            SLOTarget(name="t", objective=1.0, threshold_seconds=0.1)
+        with pytest.raises(ValueError):
+            SLOTarget(name="t", kind="latency")  # missing threshold
+        with pytest.raises(ValueError):
+            SLOTarget(
+                name="t", threshold_seconds=0.1, window_seconds=0
+            )
+
+
+class TestSlidingWindowHistogram:
+    def test_window_counts_and_exact_over(self):
+        clock = FakeClock()
+        hist = SlidingWindowHistogram(
+            thresholds=(0.05,), horizon_seconds=120, clock=clock
+        )
+        for latency in (0.01, 0.02, 0.06, 0.2):
+            hist.observe(latency)
+        snap = hist.window(10)
+        assert snap["count"] == 4
+        assert snap["errors"] == 0
+        assert snap["over"][repr(0.05)] == 2
+        assert snap["sum"] == pytest.approx(0.29)
+
+    def test_old_slots_fall_out_of_window(self):
+        clock = FakeClock()
+        hist = SlidingWindowHistogram(horizon_seconds=120, clock=clock)
+        hist.observe(0.01)
+        clock.advance(30)
+        hist.observe(0.02)
+        assert hist.window(10)["count"] == 1
+        assert hist.window(60)["count"] == 2
+        assert hist.total_count == 2
+
+    def test_horizon_reuses_slots(self):
+        clock = FakeClock()
+        hist = SlidingWindowHistogram(horizon_seconds=5, clock=clock)
+        hist.observe(0.01)
+        clock.advance(7)  # wraps the 5-slot ring past the old second
+        hist.observe(0.02)
+        assert hist.window(5)["count"] == 1
+
+    def test_window_wider_than_horizon_rejected(self):
+        hist = SlidingWindowHistogram(horizon_seconds=10)
+        with pytest.raises(ValueError):
+            hist.window(11)
+        with pytest.raises(ValueError):
+            hist.window(0)
+
+    def test_quantile_nan_when_empty(self):
+        hist = SlidingWindowHistogram(horizon_seconds=10)
+        assert math.isnan(hist.quantile(10, 0.5))
+
+    def test_errors_counted(self):
+        clock = FakeClock()
+        hist = SlidingWindowHistogram(horizon_seconds=60, clock=clock)
+        hist.observe(0.01, ok=False)
+        hist.observe(0.01)
+        assert hist.window(10)["errors"] == 1
+        assert hist.total_errors == 1
+
+    def test_reset(self):
+        hist = SlidingWindowHistogram(horizon_seconds=10)
+        hist.observe(0.01)
+        hist.reset()
+        assert hist.window(10)["count"] == 0
+        assert hist.total_count == 0
+
+
+def make_tracker(clock, objective=0.9, threshold=0.05):
+    """A tracker with one latency + one availability target, 10% budget."""
+    targets = (
+        SLOTarget(
+            name="latency",
+            kind="latency",
+            objective=objective,
+            threshold_seconds=threshold,
+            window_seconds=60,
+        ),
+        SLOTarget(
+            name="availability",
+            kind="availability",
+            objective=objective,
+            window_seconds=60,
+        ),
+    )
+    return SLOTracker(targets=targets, clock=clock)
+
+
+class TestSLOTracker:
+    def test_burn_rate_latency(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(8):
+            tracker.record(0.01)
+        for _ in range(2):
+            tracker.record(0.10)  # over the 50ms threshold
+        results = {r["name"]: r for r in tracker.evaluate()}
+        lat = results["latency"]
+        # 2 bad of 10 -> bad_fraction 0.2; budget 0.1 -> burn 2.0.
+        assert lat["bad_requests"] == 2
+        assert lat["burn_rate"] == pytest.approx(2.0)
+        assert lat["breached"] is True
+        assert results["availability"]["burn_rate"] == pytest.approx(0.0)
+
+    def test_errors_count_against_both_kinds(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(19):
+            tracker.record(0.01)
+        tracker.record(0.01, ok=False)
+        results = {r["name"]: r for r in tracker.evaluate()}
+        assert results["latency"]["bad_requests"] == 1
+        assert results["availability"]["bad_requests"] == 1
+        # 1 bad of 20 -> fraction 0.05; budget 0.1 -> burn 0.5, healthy.
+        assert results["availability"]["burn_rate"] == pytest.approx(0.5)
+        assert results["availability"]["breached"] is False
+
+    def test_empty_window_is_healthy(self):
+        tracker = make_tracker(FakeClock())
+        for result in tracker.evaluate():
+            assert result["burn_rate"] == 0.0
+            assert not result["breached"]
+
+    def test_breach_and_recovery_events(self):
+        obs.reset()
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.5)  # everything over threshold
+        tracker.evaluate()
+        events = [
+            e["kind"]
+            for e in _flightrec.get_recorder().snapshot()
+            if e["kind"].startswith("slo_")
+        ]
+        assert events == ["slo_breach"]
+        clock.advance(120)  # bad window slides out entirely
+        tracker.evaluate()
+        events = [
+            e["kind"]
+            for e in _flightrec.get_recorder().snapshot()
+            if e["kind"].startswith("slo_")
+        ]
+        assert events == ["slo_breach", "slo_recovered"]
+
+    def test_breach_gauges_exported(self):
+        obs.reset()
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.5)
+        tracker.evaluate()
+        snap = {m["name"]: m for m in obs.get_registry().snapshot()}
+        burn = snap["parapll_slo_burn_rate"]
+        values = {
+            s["labels"]["target"]: s["value"] for s in burn["series"]
+        }
+        assert values["latency"] == pytest.approx(10.0)
+        breaches = snap["parapll_slo_breaches_total"]
+        assert sum(s["value"] for s in breaches["series"]) == 1
+
+    def test_worst_burn_rate_cached_then_refreshed(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        assert tracker.worst_burn_rate() == 0.0
+        for _ in range(10):
+            tracker.record(0.5)
+        # Still cached: under max_age_seconds since the last evaluation.
+        assert tracker.worst_burn_rate() == 0.0
+        clock.advance(2.0)
+        assert tracker.worst_burn_rate() == pytest.approx(10.0)
+
+    def test_should_shed(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.5)
+        clock.advance(2.0)
+        assert tracker.should_shed(1.0)
+        assert not tracker.should_shed(100.0)
+
+    def test_windowed_quantiles_labels(self):
+        clock = FakeClock()
+        tracker = SLOTracker(clock=clock)
+        for _ in range(100):
+            tracker.record(0.01)
+        quantiles = tracker.windowed_quantiles()
+        assert set(quantiles) == {"10s", "1m", "5m"}
+        assert set(quantiles["1m"]) == {"p50", "p95", "p99"}
+
+    def test_windowed_quantiles_empty_windows_omitted(self):
+        clock = FakeClock()
+        tracker = SLOTracker(clock=clock)
+        tracker.record(0.01)
+        clock.advance(30)  # now outside 10s but inside 1m/5m
+        assert set(tracker.windowed_quantiles()) == {"1m", "5m"}
+
+    def test_status_document(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.5)
+        status = tracker.status()
+        assert status["schema"] == SLO_SCHEMA
+        assert status["breached"] == ["latency"]
+        assert status["worst_burn_rate"] == pytest.approx(10.0)
+        assert status["requests_total"] == 10
+        names = [t["name"] for t in status["targets"]]
+        assert names == ["latency", "availability"]
+
+    def test_reset_clears_breach_state(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(10):
+            tracker.record(0.5)
+        tracker.evaluate()
+        tracker.reset()
+        status = tracker.status()
+        assert status["breached"] == []
+        assert status["requests_total"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SLOTracker(targets=())
+        duplicate = SLOTarget(name="x", threshold_seconds=0.1)
+        with pytest.raises(ValueError):
+            SLOTracker(targets=(duplicate, duplicate))
+
+    def test_default_tracker_reset_via_obs(self):
+        get_tracker().record(0.01)
+        obs.reset()
+        assert get_tracker().histogram.total_count == 0
