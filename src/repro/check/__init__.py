@@ -1,19 +1,34 @@
 """``repro.check``: correctness tooling for the ParaPLL codebase.
 
-Three coordinated layers, all reachable through ``parapll check``:
+A concurrency-correctness analysis suite, all reachable through
+``parapll check``:
 
 * :mod:`repro.check.lint` — an AST-based static analyzer with
-  project-specific rules: determinism in simulated paths, lock
-  discipline around shared stores, float-distance comparison hygiene,
-  worker exception hygiene, and import layering.
+  project-specific rules (PC001–PC006, PC012): determinism in
+  simulated paths, lock discipline around shared stores,
+  float-distance comparison hygiene, worker exception hygiene, import
+  layering, label-internal privacy, and the deprecated-shim ban.
 * :mod:`repro.check.sanitizer` — an opt-in Eraser-style lockset race
   sanitizer that wraps the shared-memory build's hot objects
   (``LabelStore``, ``DynamicAssignment``, ``ThreadComm``) and reports
   any shared write whose candidate lockset becomes empty.
+* :mod:`repro.check.vectorclock` — a FastTrack-style happens-before
+  race detector over the same hook surface plus the synchronization
+  events (thread fork/join, comm envelope send/recv, barriers);
+  precise where the lockset engine over-approximates.
+* :mod:`repro.check.deadlock` — lock-order analysis: the runtime
+  acquisition graph (cycles) plus a static nested-``with`` pass
+  (order inversions).
+* :mod:`repro.check.dataflow` — a call graph with thread-role
+  inference powering the interprocedural rules PC007–PC011.
 * :mod:`repro.check.invariants` — a label-invariant verifier for built
   :class:`~repro.core.index.PLLIndex` objects (sorted hubs, finite
   non-negative distances, minimality, sampled 2-hop exactness against
   Dijkstra).
+* :mod:`repro.check.corpus` — the seeded-defect corpus runner pinning
+  each analyzer's detection power (``tests/corpus/``).
+* :mod:`repro.check.report` — the common ``parapll-check/1`` JSON
+  envelope every analyzer emits for CI.
 
 The package sits *above* every runtime layer: ``repro.check`` may
 import anything, but runtime modules may only import the dependency-free
@@ -40,6 +55,13 @@ _EXPORTS = {
     "LocksetSanitizer": "repro.check.sanitizer",
     "RaceReport": "repro.check.sanitizer",
     "get_sanitizer": "repro.check.sanitizer",
+    "VectorClockSanitizer": "repro.check.vectorclock",
+    "VCRaceReport": "repro.check.vectorclock",
+    "get_vc_sanitizer": "repro.check.vectorclock",
+    "LockOrderRecorder": "repro.check.deadlock",
+    "CallGraph": "repro.check.dataflow",
+    "DataflowReport": "repro.check.dataflow",
+    "analyze_paths": "repro.check.dataflow",
 }
 
 
@@ -67,4 +89,11 @@ __all__ = [
     "LocksetSanitizer",
     "RaceReport",
     "get_sanitizer",
+    "VectorClockSanitizer",
+    "VCRaceReport",
+    "get_vc_sanitizer",
+    "LockOrderRecorder",
+    "CallGraph",
+    "DataflowReport",
+    "analyze_paths",
 ]

@@ -1,0 +1,214 @@
+"""Seeded-defect corpus runner for the concurrency analyzers.
+
+``tests/corpus/`` holds intentionally defective (and intentionally
+clean) snippets that pin each analyzer's detection power — every
+seeded defect must be flagged, every clean pattern must stay clean.
+One subdirectory per analyzer, one protocol each:
+
+* ``races/`` — each file defines ``EXPECT = <int>`` and ``run()``.
+  The runner imports the file, installs a fresh
+  :class:`~repro.check.vectorclock.VectorClockSanitizer`, calls
+  ``run()``, and compares the number of reported races: ``EXPECT == 0``
+  demands exactly zero, ``EXPECT > 0`` demands at least that many.
+* ``deadlocks/`` — ``EXPECT = <int>`` plus an optional ``run()``
+  (executed under a sanitizer with a
+  :class:`~repro.check.deadlock.LockOrderRecorder` attached) and/or
+  nested-``with`` source for the static pass; the combined
+  :func:`repro.check.deadlock.analyze` finding count is compared the
+  same way.
+* ``dataflow/`` — each file defines ``EXPECT_RULES = [...]`` (rule id
+  strings, possibly empty); the exact *set* of rules
+  :func:`repro.check.dataflow.analyze_paths` fires on the file must
+  equal it.
+
+A corpus *failure* (defect missed, or a clean file flagged) becomes a
+``corpus`` finding in the ``parapll-check/1`` report, so CI fails on
+detection regressions through the same artifact path as real-tree
+findings.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.check import hooks as _hooks
+from repro.check import report as _report
+from repro.errors import CheckError
+
+__all__ = [
+    "CorpusCase",
+    "run_race_corpus",
+    "run_deadlock_corpus",
+    "run_dataflow_corpus",
+    "DEFAULT_CORPUS_DIR",
+]
+
+#: Default corpus root, relative to the repo root.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+@dataclass
+class CorpusCase:
+    """Outcome of one corpus file."""
+
+    path: str
+    expect: Any
+    got: Any
+    ok: bool
+    detail: str = ""
+
+    def to_finding(self) -> Dict[str, Any]:
+        return _report.finding(
+            kind="corpus",
+            rule="CORPUS",
+            message=(
+                f"corpus expectation failed: expected {self.expect!r}, "
+                f"analyzer produced {self.got!r}"
+            ),
+            path=self.path,
+            line=1,
+            detail=self.detail,
+        )
+
+
+def _corpus_files(directory: str) -> List[str]:
+    if not os.path.isdir(directory):
+        raise CheckError(f"corpus directory {directory!r} does not exist")
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".py") and not name.startswith("_")
+    )
+
+
+def _load_module(path: str) -> Any:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    name = f"parapll_corpus_{stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise CheckError(f"cannot import corpus file {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def _with_fresh_sanitizer(fn: Callable[[Any], None], sanitizer: Any) -> None:
+    """Run *fn(sanitizer)* with *sanitizer* active, preserving any
+    ambient sanitizer (the test suite may have one installed)."""
+    ambient = _hooks.get_active()
+    _hooks.set_active(None)
+    try:
+        with sanitizer:
+            fn(sanitizer)
+    finally:
+        _hooks.set_active(ambient)
+
+
+def run_race_corpus(directory: str) -> List[CorpusCase]:
+    """Execute every race corpus file under a fresh VC detector."""
+    from repro.check.vectorclock import VectorClockSanitizer
+
+    cases: List[CorpusCase] = []
+    for path in _corpus_files(directory):
+        module = _load_module(path)
+        expect = int(getattr(module, "EXPECT", 0))
+        run = getattr(module, "run", None)
+        if run is None:
+            raise CheckError(f"race corpus file {path!r} defines no run()")
+        sanitizer = VectorClockSanitizer()
+        _with_fresh_sanitizer(lambda _s: run(), sanitizer)
+        got = len(sanitizer.reports)
+        ok = (got == 0) if expect == 0 else (got >= expect)
+        cases.append(
+            CorpusCase(
+                path=path.replace(os.sep, "/"),
+                expect=expect,
+                got=got,
+                ok=ok,
+                detail=sanitizer.render(),
+            )
+        )
+    return cases
+
+
+def run_deadlock_corpus(directory: str) -> List[CorpusCase]:
+    """Run every deadlock corpus file: dynamic run() + static pass."""
+    from repro.check.deadlock import LockOrderRecorder, analyze
+    from repro.check.vectorclock import VectorClockSanitizer
+
+    cases: List[CorpusCase] = []
+    for path in _corpus_files(directory):
+        module = _load_module(path)
+        expect = int(getattr(module, "EXPECT", 0))
+        recorder = LockOrderRecorder()
+        run = getattr(module, "run", None)
+        if run is not None:
+            sanitizer = VectorClockSanitizer(lock_order=recorder)
+            _with_fresh_sanitizer(lambda _s: run(), sanitizer)
+        findings = analyze([path], recorder)
+        got = len(findings)
+        ok = (got == 0) if expect == 0 else (got >= expect)
+        cases.append(
+            CorpusCase(
+                path=path.replace(os.sep, "/"),
+                expect=expect,
+                got=got,
+                ok=ok,
+                detail="\n".join(f["message"] for f in findings),
+            )
+        )
+    return cases
+
+
+def _expected_rules(path: str) -> List[str]:
+    """The ``EXPECT_RULES`` literal of *path*, read via the AST."""
+    import ast
+
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and (
+                    target.id == "EXPECT_RULES"
+                ):
+                    value = ast.literal_eval(node.value)
+                    return [str(r) for r in value]
+    raise CheckError(
+        f"dataflow corpus file {path!r} defines no EXPECT_RULES literal"
+    )
+
+
+def run_dataflow_corpus(directory: str) -> List[CorpusCase]:
+    """Static dataflow lints over each corpus file, rule-set compared."""
+    from repro.check.dataflow import analyze_paths
+
+    cases: List[CorpusCase] = []
+    for path in _corpus_files(directory):
+        # Static corpus: read EXPECT_RULES without executing the file
+        # (the snippets are intentionally defective).
+        expect_rules = sorted(set(_expected_rules(path)))
+        result = analyze_paths([path])
+        got_rules = sorted({v.rule for v in result.violations})
+        ok = got_rules == expect_rules
+        cases.append(
+            CorpusCase(
+                path=path.replace(os.sep, "/"),
+                expect=expect_rules,
+                got=got_rules,
+                ok=ok,
+                detail="\n".join(
+                    f"{v.path}:{v.line}: {v.rule} {v.message}"
+                    for v in result.violations
+                ),
+            )
+        )
+    return cases

@@ -1,15 +1,28 @@
-"""No-op hook points the runtime calls into the race sanitizer through.
+"""No-op hook points the runtime calls into the race sanitizers through.
 
 This module is the *only* part of :mod:`repro.check` that runtime code
-(``repro.parallel``, ``repro.cluster``) may import — a rule the linter
-itself enforces (PC005).  It therefore imports nothing from the rest of
-the package: when the sanitizer is inactive every hook is a single
-global read plus a ``None`` check, cheap enough to leave in hot-ish
-paths (locks are created once, accesses are recorded per task, never
-per label probe).
+(``repro.parallel``, ``repro.cluster``, ``repro.sim``,
+``repro.service``) may import — a rule the linter itself enforces
+(PC005).  It therefore imports nothing from the rest of the package:
+when no sanitizer is active every hook is a single global read plus a
+``None`` check, cheap enough to leave in hot-ish paths (locks are
+created once, accesses are recorded per task, never per label probe).
 
-The active sanitizer registers itself via :func:`set_active`; see
-:mod:`repro.check.sanitizer` for the actual lockset machinery.
+Two hook families:
+
+* **lockset surface** (``make_lock`` / ``access`` / ``wrap_store``) —
+  consumed by both the Eraser-style lockset sanitizer
+  (:mod:`repro.check.sanitizer`) and the happens-before vector-clock
+  detector (:mod:`repro.check.vectorclock`).
+* **synchronization events** (``fork`` / ``join`` / ``send`` /
+  ``recv`` / ``barrier``) — happens-before edges only the vector-clock
+  detector consumes: thread creation/join in the builders, comm
+  envelope send/receive in ``SimComm``/``ThreadComm``, and barrier
+  arrive/depart pairs.  Engines that do not understand an event (the
+  lockset sanitizer) simply lack the method and the hook stays a no-op,
+  so the two detectors share one instrumentation surface.
+
+The active sanitizer registers itself via :func:`set_active`.
 """
 
 from __future__ import annotations
@@ -25,6 +38,11 @@ __all__ = [
     "access",
     "wrap_store",
     "unwrap_store",
+    "fork",
+    "join",
+    "send",
+    "recv",
+    "barrier",
 ]
 
 #: The active sanitizer object, or ``None``.  Typed loosely on purpose:
@@ -78,3 +96,68 @@ def unwrap_store(store: Any) -> Any:
     before the single-threaded ``finalize()``)."""
     inner = getattr(store, "_san_inner", None)
     return store if inner is None else inner
+
+
+# ----------------------------------------------------------------------
+# Synchronization events (vector-clock happens-before edges)
+# ----------------------------------------------------------------------
+def fork(child_name: str) -> None:
+    """The calling thread is about to start a thread named *child_name*.
+
+    Establishes the fork happens-before edge: everything the parent did
+    so far happens-before everything the child will do.
+    """
+    s = _active
+    if s is not None:
+        fn = getattr(s, "thread_fork", None)
+        if fn is not None:
+            fn(child_name)
+
+
+def join(child_name: str) -> None:
+    """The calling thread has joined the thread named *child_name*.
+
+    Establishes the join edge: everything the child did happens-before
+    everything the caller does from here on.
+    """
+    s = _active
+    if s is not None:
+        fn = getattr(s, "thread_join", None)
+        if fn is not None:
+            fn(child_name)
+
+
+def send(channel: str) -> Optional[Any]:
+    """Record one message departure on *channel*.
+
+    Returns an opaque token to pass to :func:`recv` alongside the
+    message (``None`` when no happens-before engine is active).  The
+    token pins the edge to this exact message; a token-less ``recv``
+    falls back to the channel's accumulated clock, which is sound for
+    FIFO channels but coarser.
+    """
+    s = _active
+    if s is None:
+        return None
+    fn = getattr(s, "send_event", None)
+    return fn(channel) if fn is not None else None
+
+
+def recv(channel: str, token: Optional[Any] = None) -> None:
+    """Record one message arrival on *channel* (see :func:`send`)."""
+    s = _active
+    if s is not None:
+        fn = getattr(s, "recv_event", None)
+        if fn is not None:
+            fn(channel, token)
+
+
+def barrier(name: str, phase: str) -> None:
+    """Record a barrier crossing: ``phase`` is ``"arrive"`` (before the
+    wait — merge my history into the barrier) or ``"depart"`` (after
+    the wait — inherit everyone's pre-barrier history)."""
+    s = _active
+    if s is not None:
+        fn = getattr(s, "barrier_event", None)
+        if fn is not None:
+            fn(name, phase)

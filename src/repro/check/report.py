@@ -1,0 +1,165 @@
+"""The ``parapll-check/1`` machine-readable report envelope.
+
+Every ``parapll check`` subcommand (``races`` / ``deadlocks`` /
+``dataflow``) can emit its findings in one common JSON shape, consumed
+by the CI annotation step and stable across analyzers::
+
+    {
+      "schema": "parapll-check/1",
+      "tool": "races",              # which analyzer produced it
+      "ok": true,                   # no findings
+      "counts": {"VC-RACE": 0},     # findings per rule id
+      "findings": [                 # one entry per finding
+        {"kind": "race", "rule": "VC-RACE", "path": "...",
+         "line": 12, "message": "...", "detail": "..."}
+      ],
+      "stats": {...}                # analyzer-specific context
+    }
+
+``kind`` is the finding family (``race`` / ``deadlock-cycle`` /
+``lock-order-inversion`` / ``lint``), ``rule`` the precise rule id
+(``VC-RACE``, ``DL-CYCLE``, ``DL-ORDER``, ``PC007``…).  ``path`` and
+``line`` are nullable — runtime findings (races, cycles) may have no
+single source anchor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import CheckError
+
+__all__ = [
+    "SCHEMA",
+    "make_report",
+    "finding",
+    "from_violations",
+    "validate_report",
+    "render_text",
+    "write_report",
+]
+
+SCHEMA = "parapll-check/1"
+
+_FINDING_KEYS = {"kind", "rule", "path", "line", "message", "detail"}
+
+
+def finding(
+    kind: str,
+    rule: str,
+    message: str,
+    path: Optional[str] = None,
+    line: Optional[int] = None,
+    detail: str = "",
+) -> Dict[str, Any]:
+    """One normalised finding entry."""
+    return {
+        "kind": kind,
+        "rule": rule,
+        "path": path,
+        "line": line,
+        "message": message,
+        "detail": detail,
+    }
+
+
+def from_violations(violations: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Lint :class:`~repro.check.lint.Violation` rows as findings."""
+    return [
+        finding(
+            kind="lint",
+            rule=v.rule,
+            message=v.message,
+            path=v.path,
+            line=v.line,
+            detail=v.hint,
+        )
+        for v in violations
+    ]
+
+
+def make_report(
+    tool: str,
+    findings: Sequence[Dict[str, Any]],
+    stats: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full envelope for *tool* around *findings*."""
+    counts: Dict[str, int] = {}
+    normalised: List[Dict[str, Any]] = []
+    for f in findings:
+        row = finding(
+            kind=str(f.get("kind", "finding")),
+            rule=str(f.get("rule", "?")),
+            message=str(f.get("message", "")),
+            path=f.get("path"),
+            line=f.get("line"),
+            detail=str(f.get("detail", "")),
+        )
+        counts[row["rule"]] = counts.get(row["rule"], 0) + 1
+        normalised.append(row)
+    return {
+        "schema": SCHEMA,
+        "tool": tool,
+        "ok": not normalised,
+        "counts": counts,
+        "findings": normalised,
+        "stats": dict(stats or {}),
+    }
+
+
+def validate_report(doc: Any) -> Dict[str, Any]:
+    """Check *doc* against the schema; return it.
+
+    Raises:
+        CheckError: when the document is not a valid
+            ``parapll-check/1`` report.
+    """
+    if not isinstance(doc, dict):
+        raise CheckError("parapll-check report must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise CheckError(
+            f"unsupported schema {doc.get('schema')!r} (want {SCHEMA!r})"
+        )
+    for key in ("tool", "ok", "counts", "findings", "stats"):
+        if key not in doc:
+            raise CheckError(f"parapll-check report is missing {key!r}")
+    if not isinstance(doc["findings"], list):
+        raise CheckError("'findings' must be a list")
+    for i, row in enumerate(doc["findings"]):
+        if not isinstance(row, dict) or not _FINDING_KEYS <= set(row):
+            raise CheckError(
+                f"finding #{i} needs keys {sorted(_FINDING_KEYS)}"
+            )
+    if bool(doc["ok"]) != (not doc["findings"]):
+        raise CheckError("'ok' must mean 'no findings'")
+    return doc
+
+
+def render_text(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of a report document."""
+    lines: List[str] = []
+    for row in doc["findings"]:
+        where = (
+            f"{row['path']}:{row['line']}: "
+            if row.get("path") else ""
+        )
+        lines.append(f"{where}{row['rule']} {row['message']}")
+        if row.get("detail"):
+            for detail_line in str(row["detail"]).splitlines():
+                lines.append(f"    {detail_line}")
+    status = "clean" if doc["ok"] else f"{len(doc['findings'])} finding(s)"
+    stats = doc.get("stats") or {}
+    suffix = (
+        " (" + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())) + ")"
+        if stats else ""
+    )
+    lines.append(f"parapll check {doc['tool']}: {status}{suffix}")
+    return "\n".join(lines)
+
+
+def write_report(doc: Dict[str, Any], path: str) -> None:
+    """Write *doc* as indented JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")

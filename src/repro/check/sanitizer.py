@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.check import hooks as _hooks
+from repro.check.naming import LockNameRegistry
 from repro.errors import CheckError
 
 __all__ = [
@@ -201,10 +202,18 @@ class LocksetSanitizer:
         raise_on_race: raise :class:`~repro.errors.CheckError` at the
             racing access (default: record into :attr:`reports` and
             keep going, so one run surfaces every racy location).
+        lock_order: optional
+            :class:`~repro.check.deadlock.LockOrderRecorder` fed with
+            every (held, acquiring) pair, so one sanitized run also
+            yields the lock-acquisition graph for deadlock analysis.
     """
 
-    def __init__(self, raise_on_race: bool = False) -> None:
+    def __init__(
+        self, raise_on_race: bool = False,
+        lock_order: Optional[Any] = None,
+    ) -> None:
         self.raise_on_race = raise_on_race
+        self.lock_order = lock_order
         self.reports: List[RaceReport] = []
         self.accesses_tracked = 0
         self.locks_created = 0
@@ -212,6 +221,7 @@ class LocksetSanitizer:
         self._state: Dict[str, _LocationState] = {}
         self._state_lock = threading.Lock()
         self._lock_names: Dict[int, str] = {}
+        self._names = LockNameRegistry()
 
     # -- lifecycle -----------------------------------------------------
     def install(self) -> "LocksetSanitizer":
@@ -245,9 +255,13 @@ class LocksetSanitizer:
 
     # -- hook surface (called via repro.check.hooks) -------------------
     def make_lock(self, name: str) -> TrackedLock:
-        lock = TrackedLock(self, name)
+        with self._state_lock:
+            # Per-instance unique display name: duplicate registrations
+            # must not merge lockset/deadlock identities.
+            unique = self._names.unique(name)
+        lock = TrackedLock(self, unique)
         self.locks_created += 1
-        self._lock_names[lock.lock_id] = name
+        self._lock_names[lock.lock_id] = unique
         return lock
 
     def wrap_store(self, store: Any) -> SanitizedLabelStore:
@@ -307,6 +321,14 @@ class LocksetSanitizer:
               remove: Optional[TrackedLock] = None) -> None:
         held = self._held_set()
         if add is not None:
+            if self.lock_order is not None:
+                self.lock_order.note_acquire(
+                    tuple(
+                        self._lock_names.get(i, f"lock#{i}")
+                        for i in held
+                    ),
+                    add.name,
+                )
             held[add.lock_id] = held.get(add.lock_id, 0) + 1
         if remove is not None:
             count = held.get(remove.lock_id, 0) - 1
@@ -342,18 +364,26 @@ def get_sanitizer() -> Optional[LocksetSanitizer]:
     return active if isinstance(active, LocksetSanitizer) else None
 
 
-def enable_from_env() -> Optional[LocksetSanitizer]:
+def enable_from_env() -> Optional[Any]:
     """Install a sanitizer if ``PARAPLL_SANITIZE`` is set truthy.
 
-    Returns the installed sanitizer (new or pre-existing) or ``None``
-    when the flag is unset.  Used by the test suite's conftest so CI
-    can run the tier-1 thread tests sanitized with one env var.
+    ``PARAPLL_SANITIZE=vc`` selects the happens-before vector-clock
+    detector (:class:`~repro.check.vectorclock.VectorClockSanitizer`);
+    any other truthy value installs the lockset engine.  Returns the
+    installed sanitizer (new or pre-existing) or ``None`` when the
+    flag is unset.  Used by the test suite's conftest so CI can run
+    the tier-1 thread tests sanitized with one env var.
     """
-    if os.environ.get(ENV_FLAG, "").lower() in ("", "0", "false", "no"):
+    value = os.environ.get(ENV_FLAG, "").lower()
+    if value in ("", "0", "false", "no"):
         return None
-    existing = get_sanitizer()
+    existing = _hooks.get_active()
     if existing is not None:
         return existing
+    if value == "vc":
+        from repro.check.vectorclock import VectorClockSanitizer
+
+        return VectorClockSanitizer().install()
     return LocksetSanitizer().install()
 
 
@@ -361,7 +391,7 @@ def enable_from_env() -> Optional[LocksetSanitizer]:
 class _StressResult:
     """Outcome of :func:`stress_threads` (the ``check races`` CLI)."""
 
-    sanitizer: LocksetSanitizer
+    sanitizer: Any
     builds: int = 0
     vertices: int = 0
     extra: List[str] = field(default_factory=list)
@@ -373,23 +403,37 @@ def stress_threads(
     n: int = 120,
     m: int = 400,
     seed: int = 7,
+    sanitizer: Optional[Any] = None,
+    cluster: bool = False,
 ) -> _StressResult:
     """Run sanitized threaded builds as a race-hunting stress load.
 
     Builds a seeded random graph and runs the shared-memory builder
-    ``repeats`` times per policy with the sanitizer installed.  Any
-    lockset violation in the commit path, the dynamic queue or the
-    communicator shows up in ``result.sanitizer.reports``.
+    ``repeats`` times per policy with the sanitizer installed (a fresh
+    :class:`LocksetSanitizer` by default; pass a
+    :class:`~repro.check.vectorclock.VectorClockSanitizer` for
+    happens-before detection).  With ``cluster=True`` each repeat also
+    runs the thread-backed cluster build, exercising the ``ThreadComm``
+    envelope/barrier paths.  Violations show up in
+    ``result.sanitizer.reports``.
     """
     from repro.generators.random_graphs import gnm_random_graph
     from repro.parallel.threads import build_parallel_threads
 
     graph = gnm_random_graph(n, m, seed=seed)
-    sanitizer = LocksetSanitizer()
+    if sanitizer is None:
+        sanitizer = LocksetSanitizer()
     result = _StressResult(sanitizer=sanitizer, vertices=n)
     with sanitizer:
         for _ in range(repeats):
             for policy in ("dynamic", "static"):
                 build_parallel_threads(graph, num_threads, policy=policy)
+                result.builds += 1
+            if cluster:
+                from repro.cluster.runner import run_cluster_threads
+
+                run_cluster_threads(
+                    graph, max(2, min(num_threads, 4)), syncs=2
+                )
                 result.builds += 1
     return result

@@ -738,22 +738,156 @@ def _cmd_check_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
-def _cmd_check_races(args: argparse.Namespace) -> int:
-    from repro.check.sanitizer import stress_threads
+def _emit_check_report(args: argparse.Namespace, doc: dict) -> int:
+    """Common ``parapll-check/1`` output handling (--json / --out)."""
+    import json as _json
 
+    from repro.check import report as _report
+
+    _report.validate_report(doc)
+    if getattr(args, "out", None):
+        _report.write_report(doc, args.out)
+    if getattr(args, "json", False):
+        print(_json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(_report.render_text(doc))
+    return 0 if doc["ok"] else 1
+
+
+def _corpus_findings(cases: list) -> "Tuple[list, dict]":
+    """(findings, stats) for a corpus run: failures become findings."""
+    findings = [case.to_finding() for case in cases if not case.ok]
+    stats = {
+        "corpus_cases": len(cases),
+        "corpus_failed": sum(1 for case in cases if not case.ok),
+    }
+    return findings, stats
+
+
+def _cmd_check_races(args: argparse.Namespace) -> int:
+    from repro.check import report as _report
+    from repro.check.sanitizer import LocksetSanitizer, stress_threads
+    from repro.check.vectorclock import VectorClockSanitizer
+
+    if args.corpus:
+        from repro.check.corpus import run_race_corpus
+
+        cases = run_race_corpus(args.corpus)
+        findings, stats = _corpus_findings(cases)
+        stats["detector"] = "vc"
+        return _emit_check_report(
+            args, _report.make_report("races", findings, stats)
+        )
+
+    sanitizer = (
+        LocksetSanitizer()
+        if args.detector == "lockset" else VectorClockSanitizer()
+    )
     result = stress_threads(
         num_threads=args.threads,
         repeats=args.repeats,
         n=args.vertices,
         m=args.edges,
         seed=args.seed,
+        sanitizer=sanitizer,
+        cluster=args.cluster,
     )
+    if args.json or args.out:
+        if args.detector == "lockset":
+            findings = [
+                _report.finding(
+                    kind="race", rule="LS-RACE",
+                    message=f"no lock consistently protects {r.location}",
+                    detail=r.render(),
+                )
+                for r in sanitizer.reports
+            ]
+        else:
+            findings = [r.to_finding() for r in sanitizer.reports]
+        doc = _report.make_report(
+            "races", findings,
+            {
+                "detector": args.detector,
+                "builds": result.builds,
+                "accesses": sanitizer.accesses_tracked,
+                "threads": args.threads,
+            },
+        )
+        return _emit_check_report(args, doc)
     print(result.sanitizer.render())
     print(
         f"stressed {result.builds} sanitized build(s) on "
         f"{result.vertices} vertices with {args.threads} thread(s)"
     )
     return 0 if result.sanitizer.ok else 1
+
+
+def _cmd_check_deadlocks(args: argparse.Namespace) -> int:
+    from repro.check import report as _report
+    from repro.check.deadlock import LockOrderRecorder, analyze
+
+    if args.corpus:
+        from repro.check.corpus import run_deadlock_corpus
+
+        cases = run_deadlock_corpus(args.corpus)
+        findings, stats = _corpus_findings(cases)
+        return _emit_check_report(
+            args, _report.make_report("deadlocks", findings, stats)
+        )
+
+    recorder = LockOrderRecorder()
+    stats: dict = {"paths": list(args.paths)}
+    if not args.no_stress:
+        from repro.check.sanitizer import stress_threads
+        from repro.check.vectorclock import VectorClockSanitizer
+
+        sanitizer = VectorClockSanitizer(lock_order=recorder)
+        result = stress_threads(
+            num_threads=args.threads,
+            repeats=args.repeats,
+            sanitizer=sanitizer,
+            cluster=True,
+        )
+        stats["builds"] = result.builds
+        stats["acquisitions"] = recorder.acquisitions
+        stats["edges"] = len(recorder.edges)
+    findings = analyze(args.paths, recorder)
+    return _emit_check_report(
+        args, _report.make_report("deadlocks", findings, stats)
+    )
+
+
+def _cmd_check_dataflow(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.check import report as _report
+    from repro.check.dataflow import analyze_paths
+    from repro.check.lint import load_suppressions
+
+    if args.corpus:
+        from repro.check.corpus import run_dataflow_corpus
+
+        cases = run_dataflow_corpus(args.corpus)
+        findings, stats = _corpus_findings(cases)
+        return _emit_check_report(
+            args, _report.make_report("dataflow", findings, stats)
+        )
+
+    suppressions = None
+    if not args.no_suppressions and os.path.exists(args.suppressions):
+        suppressions = load_suppressions(args.suppressions)
+    result = analyze_paths(args.paths, suppressions=suppressions)
+    findings = _report.from_violations(result.violations)
+    doc = _report.make_report(
+        "dataflow", findings,
+        {
+            "files": result.files_checked,
+            "functions": result.functions,
+            "suppressed": len(result.suppressed),
+            **{f"role_{k}": v for k, v in result.roles.items()},
+        },
+    )
+    return _emit_check_report(args, doc)
 
 
 def _cmd_check_index(args: argparse.Namespace) -> int:
@@ -1242,7 +1376,8 @@ def _build_parser() -> argparse.ArgumentParser:
     t.set_defaults(func=_cmd_timeline)
 
     c = sub.add_parser(
-        "check", help="correctness tooling: lint / races / index"
+        "check",
+        help="correctness tooling: lint / races / deadlocks / dataflow / index",
     )
     csub = c.add_subparsers(dest="check_command", required=True)
 
@@ -1276,14 +1411,93 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cr = csub.add_parser(
         "races",
-        help="stress the threaded builder under the lockset sanitizer",
+        help="stress the threaded builder under a race sanitizer",
     )
     cr.add_argument("--threads", type=int, default=4)
     cr.add_argument("--repeats", type=int, default=3)
     cr.add_argument("--vertices", type=int, default=120)
     cr.add_argument("--edges", type=int, default=400)
     cr.add_argument("--seed", type=int, default=7)
+    cr.add_argument(
+        "--detector", choices=("vc", "lockset"), default="vc",
+        help="happens-before vector clocks (default) or Eraser locksets",
+    )
+    cr.add_argument(
+        "--cluster", action="store_true",
+        help="also stress the simulated-cluster thread backend",
+    )
+    cr.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="run the seeded-defect race corpus instead of a stress run",
+    )
+    cr.add_argument(
+        "--json", action="store_true",
+        help="emit a parapll-check/1 report on stdout",
+    )
+    cr.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the parapll-check/1 report to FILE",
+    )
     cr.set_defaults(func=_cmd_check_races)
+
+    cd = csub.add_parser(
+        "deadlocks",
+        help="lock-order analysis: runtime acquisition cycles plus "
+        "static nested-with inversions",
+    )
+    cd.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories for the static pass (default: src)",
+    )
+    cd.add_argument("--threads", type=int, default=4)
+    cd.add_argument("--repeats", type=int, default=2)
+    cd.add_argument(
+        "--no-stress", action="store_true",
+        help="skip the runtime stress run; static analysis only",
+    )
+    cd.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="run the seeded-defect deadlock corpus instead",
+    )
+    cd.add_argument(
+        "--json", action="store_true",
+        help="emit a parapll-check/1 report on stdout",
+    )
+    cd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the parapll-check/1 report to FILE",
+    )
+    cd.set_defaults(func=_cmd_check_deadlocks)
+
+    cf = csub.add_parser(
+        "dataflow",
+        help="thread-role dataflow rules PC007..PC012 over a call graph",
+    )
+    cf.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    cf.add_argument(
+        "--suppressions", default=".parapll-lint.json", metavar="FILE",
+        help="checked-in accepted exceptions (ignored when absent)",
+    )
+    cf.add_argument(
+        "--no-suppressions", action="store_true",
+        help="report everything, including accepted exceptions",
+    )
+    cf.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="run the seeded-defect dataflow corpus instead",
+    )
+    cf.add_argument(
+        "--json", action="store_true",
+        help="emit a parapll-check/1 report on stdout",
+    )
+    cf.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the parapll-check/1 report to FILE",
+    )
+    cf.set_defaults(func=_cmd_check_dataflow)
 
     ci = csub.add_parser(
         "index", help="verify the label invariants of a built index"

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.check import hooks as _check_hooks
 from repro.cluster.network import NetworkModel
 from repro.errors import CommError
 from repro.obs import config as _obs_config
@@ -106,7 +107,14 @@ class SimComm:
                 dest=dest,
             )
         key = (source, dest, tag)
-        self._mailboxes.setdefault(key, deque()).append((send_done, env))
+        # Same envelope happens-before edge ThreadComm emits, so the
+        # sim and thread cluster paths share one synchronization model.
+        token = _check_hooks.send(
+            f"SimComm#{id(self)}.box.{source}.{dest}.{tag}"
+        )
+        self._mailboxes.setdefault(key, deque()).append(
+            (send_done, env, token)
+        )
         record_comm("send", entries)
 
     def recv(self, source: int, dest: int, tag: int = 0) -> Any:
@@ -125,7 +133,10 @@ class SimComm:
             raise CommError(
                 f"recv on rank {dest} from {source} tag {tag}: no message"
             )
-        arrival, raw = box.popleft()
+        arrival, raw, token = box.popleft()
+        _check_hooks.recv(
+            f"SimComm#{id(self)}.box.{source}.{dest}.{tag}", token
+        )
         wait = max(0.0, arrival - self.clocks[dest])
         self.comm_seconds[dest] += wait
         self.clocks[dest] = max(self.clocks[dest], arrival)

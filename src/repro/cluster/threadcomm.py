@@ -92,6 +92,10 @@ class ThreadComm:
         # protected, so only the lock-guarded mutations are tracked.
         self._san_boxes = f"ThreadComm#{id(self)}._boxes"
         self._san_gather = f"ThreadComm#{id(self)}._gather_slots"
+        # Happens-before event names (vector-clock sanitizer): one
+        # channel per (source, dest, tag) mailbox, one barrier name.
+        self._hb_prefix = f"ThreadComm#{id(self)}"
+        self._hb_barrier = f"{self._hb_prefix}.barrier"
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
@@ -120,7 +124,12 @@ class ThreadComm:
         self._check_rank(dest)
         env = _ctx.stamp(payload, rank=source)
         _record_send(env, src=source, dest=dest)
-        self._box(source, dest, tag).put(env)
+        # The hook token rides along with the message so the receiver
+        # joins exactly this send's clock (None when no sanitizer).
+        token = _check_hooks.send(
+            f"{self._hb_prefix}.box.{source}.{dest}.{tag}"
+        )
+        self._box(source, dest, tag).put((env, token))
 
     def recv(self, source: int, dest: int, tag: int = 0) -> Any:
         """Block until a message from *source* arrives at *dest*.
@@ -131,11 +140,16 @@ class ThreadComm:
         self._check_rank(source)
         self._check_rank(dest)
         try:
-            raw = self._box(source, dest, tag).get(timeout=self.timeout)
+            raw, token = self._box(source, dest, tag).get(
+                timeout=self.timeout
+            )
         except queue.Empty:
             raise CommError(
                 f"recv timeout on rank {dest} from {source} tag {tag}"
             ) from None
+        _check_hooks.recv(
+            f"{self._hb_prefix}.box.{source}.{dest}.{tag}", token
+        )
         payload, env_ctx, flow_id = _ctx.unwrap(raw)
         _record_recv(env_ctx, flow_id, src=source, dest=dest)
         return payload
@@ -144,10 +158,12 @@ class ThreadComm:
     def barrier(self, rank: int) -> None:
         """Block until every rank reaches the barrier."""
         self._check_rank(rank)
+        _check_hooks.barrier(self._hb_barrier, "arrive")
         try:
             self._barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError:
             raise CommError("barrier timed out or was broken") from None
+        _check_hooks.barrier(self._hb_barrier, "depart")
 
     def allgather(self, rank: int, payload: Any) -> List[Any]:
         """Contribute *payload*; returns every rank's payload, in order.
@@ -240,9 +256,12 @@ def run_ranks(
         for r in range(comm.size)
     ]
     for t in threads:
+        _check_hooks.fork(t.name)
         t.start()
     for t in threads:
         t.join(timeout=timeout or comm.timeout + 5.0)
+        if not t.is_alive():
+            _check_hooks.join(t.name)
     for rank, exc in enumerate(errors):
         if exc is not None:
             _flightrec.auto_dump("rank_failure")

@@ -51,10 +51,15 @@ def barabasi_albert(
         edges.append((0, v))
         endpoints.extend((0, v))
     for v in range(m_attach + 1, n):
-        targets = set()
+        # Draw-ordered list + membership set: set *iteration* order is
+        # an implementation detail (PC010), draw order is seeded.
+        targets: List[int] = []
+        seen = set()
         while len(targets) < m_attach:
             t = endpoints[int(rng.integers(0, len(endpoints)))]
-            targets.add(t)
+            if t not in seen:
+                seen.add(t)
+                targets.append(t)
         for t in targets:
             edges.append((v, t))
             endpoints.extend((v, t))

@@ -684,6 +684,124 @@ def _wl_qlog_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_check_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """The vector-clock sanitizer must cost the thread build <10%.
+
+    Same direct-measurement reasoning as ``audit_overhead``: a 10%
+    bound cannot be asserted by differencing two whole-build walls
+    under ±10% run noise.  One instrumented build (under
+    ``PARAPLL_SANITIZE=vc`` semantics: a fresh
+    ``VectorClockSanitizer`` installed) counts the actual hook traffic
+    — tracked accesses, lock acquire/release pairs, fork/join events —
+    and must finish race-free (``vc_races`` pins that to zero).  The
+    sanitizer's *added work* is then timed directly by replaying that
+    exact hook schedule against a fresh engine, and divided by the
+    plain build wall; ``overhead_within_gate`` (exact counter) fails
+    the comparison outright if the fraction exceeds 0.10.  When the
+    sanitizer is off the hooks must dispatch to nothing:
+    ``hooks_active_when_off`` pins the off-path to an exact zero.
+    """
+    import gc
+
+    from repro.check import hooks as _check_hooks
+    from repro.check.vectorclock import VectorClockSanitizer
+    from repro.parallel.threads import build_parallel_threads
+
+    def plain_wall() -> float:
+        t0 = time.perf_counter()
+        build_parallel_threads(ctx.graph, 4, policy="dynamic")
+        return time.perf_counter() - t0
+
+    # Off-path: with no sanitizer installed the hooks are no-ops.
+    ambient = _check_hooks.get_active()
+    _check_hooks.set_active(None)
+    # Freeze the garbage collector across the timed sections: by this
+    # point the suite has built a dozen indexes, and automatic gen2
+    # passes scan that whole heap mid-loop — the measured fraction
+    # would track heap size (and the workload's position in the
+    # suite), not the sanitizer.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        hooks_active = 1.0 if _check_hooks.get_active() is not None else 0.0
+        plain = min(plain_wall() for _ in range(3))
+
+        build_vc = VectorClockSanitizer()
+        with build_vc:
+            t0 = time.perf_counter()
+            build_parallel_threads(ctx.graph, 4, policy="dynamic")
+            sanitized = time.perf_counter() - t0
+
+        # Replay the observed hook schedule against a fresh engine:
+        # that loop IS the sanitizer's entire footprint in the build.
+        # The instrumented build splits its accesses into two measured
+        # populations — same-owner re-writes riding the FastTrack
+        # same-epoch fast path (the overwhelming majority: commits to a
+        # vertex's label streak from one worker) and full
+        # epoch-allocating, stack-capturing slow-path accesses — and
+        # the replay reproduces that observed mix exactly: a fresh
+        # location per slow-path access (a one-location replay would
+        # ride the fast path and dodge the conflict checks), then the
+        # fast-path population as repeated writes to one hot location.
+        slow = build_vc.accesses_tracked - build_vc.fastpath_hits
+        names = [f"perf.store.{i}" for i in range(slow)]
+        syncs = build_vc.sync_events // 2
+
+        def replay_wall() -> float:
+            replay = VectorClockSanitizer()
+            lock = replay.make_lock("perf.commit")
+            t0 = time.perf_counter()
+            for name in names:
+                with lock:
+                    replay.record_access(name, write=True)
+            for _ in range(build_vc.fastpath_hits):
+                with lock:
+                    replay.record_access("perf.store.hot", write=True)
+            for i in range(syncs):
+                replay.thread_fork(f"perf-w{i}")
+                replay.thread_join(f"perf-w{i}")
+            return time.perf_counter() - t0
+
+        # Best of three, like the plain wall it is divided by.
+        hook_wall = min(replay_wall() for _ in range(3))
+        fraction = hook_wall / plain
+    finally:
+        _check_hooks.set_active(ambient)
+
+    return {
+        "plain_build_seconds": _metric(plain, "time", "s"),
+        "sanitized_build_seconds": _metric(sanitized, "time", "s"),
+        # End-to-end wall ratio, informational only (see docstring).
+        "sanitizer_overhead_ratio": _metric(
+            sanitized / plain, "time", "x", tol=0.5
+        ),
+        "sanitizer_hook_fraction": _metric(fraction, "time", "x", tol=1.0),
+        # The hard gate: exact counter, 1.0 iff overhead <= 10%.
+        "overhead_within_gate": _metric(
+            1.0 if fraction <= 0.10 else 0.0, "counter", "bool"
+        ),
+        "vc_races": _metric(
+            float(len(build_vc.reports)), "counter", "races"
+        ),
+        # Commit traffic tracks labels-added, which is interleaving-
+        # dependent at p=4 (same reason thread_build_p4 widens labels).
+        "vc_accesses": _metric(
+            float(build_vc.accesses_tracked), "counter", "accesses",
+            tol=0.5,
+        ),
+        "vc_fastpath_hits": _metric(
+            float(build_vc.fastpath_hits), "counter", "accesses",
+            tol=0.5,
+        ),
+        "vc_sync_events": _metric(
+            float(build_vc.sync_events), "counter", "events"
+        ),
+        "hooks_active_when_off": _metric(
+            hooks_active, "counter", "bool"
+        ),
+    }
+
+
 def default_workloads() -> List[Workload]:
     """The standard PerfSuite (one Workload per execution mode)."""
     return [
@@ -700,6 +818,7 @@ def default_workloads() -> List[Workload]:
         Workload("audit_overhead", _wl_audit_overhead),
         Workload("serve_replay", _wl_serve_replay),
         Workload("qlog_overhead", _wl_qlog_overhead),
+        Workload("check_overhead", _wl_check_overhead),
     ]
 
 

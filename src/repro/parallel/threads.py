@@ -174,9 +174,14 @@ def build_parallel_threads(
             for k in range(num_threads)
         ]
         for t in threads:
+            # Fork/join edges let the happens-before sanitizer prove
+            # the commit-on-completion pattern race-free (the lockset
+            # engine can only whitelist it via unwrap_store below).
+            _check_hooks.fork(t.name)
             t.start()
         for t in threads:
             t.join()
+            _check_hooks.join(t.name)
     elapsed = time.perf_counter() - t0
     if errors:
         failure = errors[0]

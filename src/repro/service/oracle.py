@@ -9,12 +9,12 @@ guards the cache; the underlying finalized index is read-only.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
+from repro.check import hooks as _check_hooks
 from repro.core.knn import KNNIndex
 from repro.errors import GraphError
 from repro.obs import config as _obs_config
@@ -75,7 +75,7 @@ class DistanceOracle:
         self.cache_size = cache_size
         self.stats = OracleStats()
         self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = _check_hooks.make_lock("oracle._cache_lock")
         self._knn: Optional[KNNIndex] = (
             KNNIndex(index.store) if build_knn else None
         )

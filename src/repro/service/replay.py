@@ -39,6 +39,7 @@ from dataclasses import asdict, dataclass
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.check import hooks as _check_hooks
 from repro.errors import ReproError
 from repro.obs.slo import DEFAULT_TARGETS, SLOTarget, SLOTracker
 from repro.obs.workload import exact_quantile
@@ -276,7 +277,7 @@ def run_replay(
         offsets = _arrival_offsets(config)
         local = threading.local()
         cleanups: List[Callable[[], None]] = []
-        cleanup_lock = threading.Lock()
+        cleanup_lock = _check_hooks.make_lock("replay.cleanup_lock")
 
         def task(j: int) -> None:
             if not hasattr(local, "issue"):

@@ -52,6 +52,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.check import hooks as _check_hooks
 from repro.errors import ReproError
 from repro.obs import flightrec as _flightrec
 from repro.obs import qlog as _qlog
@@ -413,16 +414,20 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.malformed_count = 0
-        self._malformed_lock = threading.Lock()
+        self._malformed_lock = _check_hooks.make_lock(
+            "server._malformed_lock"
+        )
         self._request_ids = itertools.count(1)
         self.slow_query_seconds: Optional[float] = None
         self.start_monotonic = time.monotonic()
         self._inflight = 0
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = _check_hooks.make_lock(
+            "server._inflight_lock"
+        )
         self.slo_tracker: _slo.SLOTracker = _slo.get_tracker()
         self.shed_burn_rate: Optional[float] = None
         self.shed_count = 0
-        self._shed_lock = threading.Lock()
+        self._shed_lock = _check_hooks.make_lock("server._shed_lock")
 
     def should_shed(self) -> bool:
         """Whether the load shedder is currently engaged."""

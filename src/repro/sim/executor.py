@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.check import hooks as _check_hooks
 from repro.core.index import PLLIndex
 from repro.core.labels import LabelStore
 from repro.errors import SimulationError
@@ -151,6 +152,11 @@ class IntraNodeSimulator:
         #: Label triples committed since the last :meth:`drain_deltas`
         #: (consumed by the cluster synchroniser).
         self._pending_deltas: List[Tuple[int, int, float]] = []
+        # Sanitizer location for store commits: the simulator is
+        # single-threaded, so tracked accesses stay in the exclusive
+        # state — the instrumentation exists so sim-driven runs share
+        # the same access surface as the real builders.
+        self._san_store = f"SimNode#{id(self)}.store"
 
     # ------------------------------------------------------------------
     # Event kinds, ordered so that at equal timestamps commits become
@@ -211,6 +217,7 @@ class IntraNodeSimulator:
                 root_rank = int(rank[root])
                 triples = [(v, root_rank, d) for v, d in delta]
                 if self.visibility == "immediate":
+                    _check_hooks.access(self._san_store, write=True)
                     store.add_delta(triples)
                 run_units = cost.task_overhead + cost.search_units(stats)
                 if self.jitter > 0:
@@ -252,6 +259,7 @@ class IntraNodeSimulator:
             else:  # _EV_COMMIT
                 w, root, triples, start, lock_wait = payload
                 if self.visibility != "immediate":
+                    _check_hooks.access(self._san_store, write=True)
                     store.add_delta(triples)
                 self._pending_deltas.extend(triples)
                 self.worker_busy[w] += t - start
@@ -311,6 +319,7 @@ class IntraNodeSimulator:
             The number of skipped (redundant) entries.
         """
         store = self.store
+        _check_hooks.access(self._san_store, write=True)
         skipped = 0
         for v, h, d in triples:
             if h not in store.hubs_of(v):

@@ -11,11 +11,13 @@ from repro.graph.csr import CSRGraph
 
 @pytest.fixture(scope="session", autouse=True)
 def _lockset_sanitizer_from_env():
-    """Install the lockset race sanitizer when PARAPLL_SANITIZE is set.
+    """Install a race sanitizer when PARAPLL_SANITIZE is set.
 
-    CI's lint-and-sanitize job runs the threaded tests with the flag on;
-    any lockset violation in the commit path, the dynamic queue, or the
-    thread communicator fails the session at teardown with full stacks.
+    ``PARAPLL_SANITIZE=vc`` selects the vector-clock (happens-before)
+    engine; any other truthy value selects the lockset engine.  CI's
+    lint-and-sanitize job runs the threaded tests with the flag on; any
+    race in the commit path, the dynamic queue, or the thread
+    communicator fails the session at teardown with full stacks.
     """
     from repro.check.sanitizer import enable_from_env
 

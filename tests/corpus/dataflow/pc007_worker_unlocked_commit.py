@@ -1,0 +1,8 @@
+"""Seeded defect: a worker-role function commits into a shared store
+with no hooks-managed lock held (PC007)."""
+
+EXPECT_RULES = ["PC007"]
+
+
+def worker_commit(store, triples):
+    store.add_delta(triples)

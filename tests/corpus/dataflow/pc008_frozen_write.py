@@ -1,0 +1,10 @@
+"""Seeded defect: writes into finalized (frozen / mmap-backed) CSR
+label arrays (PC008) — a subscript store and an in-place sort."""
+
+EXPECT_RULES = ["PC008"]
+
+
+def patch_finalized(store):
+    dists = store.finalized_dists()
+    dists[0] = 0.0
+    store.finalized_hubs().sort()

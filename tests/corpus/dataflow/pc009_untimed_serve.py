@@ -1,0 +1,14 @@
+"""Seeded defect: serve-role code blocking without timeouts (PC009) —
+an untimed queue get and a create_connection with no timeout."""
+
+import socket
+
+EXPECT_RULES = ["PC009"]
+
+
+def handle_query(request, reply_queue):
+    return reply_queue.get()
+
+
+def handle_fetch(host, port):
+    return socket.create_connection((host, port))

@@ -1,0 +1,12 @@
+"""Seeded defect: sim-role code iterating a set (PC010) — set order
+varies per process, which breaks replay determinism."""
+
+EXPECT_RULES = ["PC010"]
+
+
+def simulate_frontier(neighbors):
+    frontier = set(neighbors)
+    total = 0
+    for v in frontier:
+        total += v
+    return total

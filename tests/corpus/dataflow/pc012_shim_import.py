@@ -1,0 +1,10 @@
+"""Seeded defect: importing the deprecated ``repro.analysis`` shim
+(PC012) — internal code must import ``repro.efficiency`` directly."""
+
+from repro.analysis import audit_index
+
+EXPECT_RULES = ["PC012"]
+
+
+def check_everything(index):
+    return audit_index(index)

@@ -1,0 +1,15 @@
+"""Clean pattern: the same lock pair is always taken in one global
+order, both at runtime and in source — no cycle, no inversion."""
+
+from repro.check import hooks
+
+EXPECT = 0
+
+
+def run() -> None:
+    lock_a = hooks.make_lock("corpus.ordered_a")
+    lock_b = hooks.make_lock("corpus.ordered_b")
+    for _ in range(2):
+        with lock_a:
+            with lock_b:
+                pass

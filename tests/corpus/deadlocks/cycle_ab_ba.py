@@ -1,0 +1,18 @@
+"""Seeded defect: one thread acquires lock_a then lock_b, later
+lock_b then lock_a.  No hang here (single thread), but the acquisition
+graph has a cycle — two threads running the two halves can deadlock."""
+
+from repro.check import hooks
+
+EXPECT = 1
+
+
+def run() -> None:
+    lock_a = hooks.make_lock("corpus.lock_a")
+    lock_b = hooks.make_lock("corpus.lock_b")
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:
+            pass

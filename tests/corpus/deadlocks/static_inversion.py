@@ -1,0 +1,17 @@
+"""Seeded defect, static-only: two code paths nest the same pair of
+locks in opposite orders.  Nothing runs — the nested-``with`` pass
+must flag the inversion from source alone."""
+
+EXPECT = 1
+
+
+def refresh_stats(index_lock, stats_lock, stats):
+    with index_lock:
+        with stats_lock:
+            stats.refresh()
+
+
+def rebuild_index(index_lock, stats_lock, index):
+    with stats_lock:
+        with index_lock:
+            index.rebuild()

@@ -1,0 +1,35 @@
+"""Clean pattern: envelope handoff.  The producer's write is ordered
+before the consumer's write solely by the send/recv edge (the token
+carries the producer's clock), mirroring SimComm/ThreadComm."""
+
+import queue
+import threading
+
+from repro.check import hooks
+
+EXPECT = 0
+
+
+def run() -> None:
+    q: "queue.Queue" = queue.Queue()
+
+    def producer() -> None:
+        hooks.access("corpus.payload", write=True)
+        token = hooks.send("corpus.chan")
+        q.put(token)
+
+    def consumer() -> None:
+        token = q.get()
+        hooks.recv("corpus.chan", token)
+        hooks.access("corpus.payload", write=True)
+
+    threads = [
+        threading.Thread(target=producer, name="corpus-producer"),
+        threading.Thread(target=consumer, name="corpus-consumer"),
+    ]
+    for t in threads:
+        hooks.fork(t.name)
+        t.start()
+    for t in threads:
+        t.join()
+        hooks.join(t.name)

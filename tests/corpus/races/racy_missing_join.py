@@ -1,0 +1,24 @@
+"""Seeded defect: main reads a worker's result synchronized only by a
+raw Event the detector cannot see — the join edge is missing, so the
+read races with the write even though this interleaving is ordered."""
+
+import threading
+
+from repro.check import hooks
+
+EXPECT = 1
+
+
+def run() -> None:
+    done = threading.Event()
+
+    def worker() -> None:
+        hooks.access("corpus.result", write=True)
+        done.set()
+
+    t = threading.Thread(target=worker, name="corpus-nojoin")
+    hooks.fork(t.name)
+    t.start()
+    done.wait()  # real ordering, but not a tracked sync edge
+    hooks.access("corpus.result", write=False)
+    t.join()

@@ -88,6 +88,126 @@ class TestCheckRaces:
         assert code == 0
         assert "0 race(s)" in out
 
+    def test_lockset_detector_and_cluster(self, capsys):
+        code = main(
+            ["check", "races", "--threads", "2", "--repeats", "1",
+             "--vertices", "40", "--edges", "90",
+             "--detector", "lockset", "--cluster"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 race(s)" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        out_file = tmp_path / "races.json"
+        code = main(
+            ["check", "races", "--threads", "2", "--repeats", "1",
+             "--vertices", "40", "--edges", "90",
+             "--json", "--out", str(out_file)]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["schema"] == "parapll-check/1"
+        assert doc["tool"] == "races"
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+        assert doc["stats"]["detector"] == "vc"
+        assert json.loads(out_file.read_text()) == doc
+
+    def test_corpus_mode(self, capsys):
+        code = main(
+            ["check", "races", "--corpus", "tests/corpus/races", "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0, doc
+        assert doc["stats"]["corpus_cases"] >= 4
+
+    def test_corpus_failure_reported(self, tmp_path, capsys):
+        bad = tmp_path / "missed_defect.py"
+        bad.write_text(
+            "EXPECT = 1\n\n\ndef run():\n    pass\n"
+        )
+        code = main(
+            ["check", "races", "--corpus", str(tmp_path), "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["ok"] is False
+        assert doc["findings"][0]["rule"] == "CORPUS"
+
+
+class TestCheckDeadlocks:
+    def test_src_is_clean(self, capsys):
+        code = main(
+            ["check", "deadlocks", "--threads", "2", "--repeats", "1",
+             "src", "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0, doc
+        assert doc["tool"] == "deadlocks"
+        assert doc["findings"] == []
+        assert doc["stats"]["acquisitions"] > 0
+
+    def test_static_only_finds_seeded_inversion(self, tmp_path, capsys):
+        (tmp_path / "inverted.py").write_text(
+            textwrap.dedent(
+                """\
+                def f(a_lock, b_lock):
+                    with a_lock:
+                        with b_lock:
+                            pass
+
+                def g(a_lock, b_lock):
+                    with b_lock:
+                        with a_lock:
+                            pass
+                """
+            )
+        )
+        code = main(
+            ["check", "deadlocks", "--no-stress", str(tmp_path), "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["counts"] == {"DL-ORDER": 1}
+
+    def test_corpus_mode(self, capsys):
+        code = main(
+            ["check", "deadlocks", "--corpus", "tests/corpus/deadlocks"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "clean" in out
+
+
+class TestCheckDataflow:
+    def test_src_is_clean(self, capsys):
+        code = main(["check", "dataflow", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0, doc
+        assert doc["tool"] == "dataflow"
+        assert doc["findings"] == []
+        assert doc["stats"]["files"] > 90
+
+    def test_seeded_violation_reported(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "def worker(store, triples):\n"
+            "    store.add_delta(triples)\n"
+        )
+        code = main(["check", "dataflow", str(tmp_path), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["counts"] == {"PC007": 1}
+        assert doc["findings"][0]["kind"] == "lint"
+
+    def test_corpus_mode(self, capsys):
+        code = main(
+            ["check", "dataflow", "--corpus", "tests/corpus/dataflow"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "clean" in out
+
 
 class TestCheckIndex:
     def test_build_and_verify(self, graph_file, capsys):

@@ -153,6 +153,49 @@ class TestWrappedStore:
         assert sanitizer.ok, sanitizer.render()
 
 
+class TestClusterPath:
+    """The simulated-cluster thread backend under the lockset engine."""
+
+    def test_cluster_threads_run_clean(self, sanitizer):
+        from repro.cluster.runner import run_cluster_threads
+        from repro.generators.random_graphs import gnm_random_graph
+
+        graph = gnm_random_graph(30, 80, seed=3)
+        index = run_cluster_threads(graph, 3, syncs=2)
+        assert index.avg_label_size() > 0
+        assert sanitizer.ok, sanitizer.render()
+
+    def test_seeded_unlocked_write_is_caught(self, sanitizer):
+        """A deliberate unlocked shared write alongside the (clean)
+        cluster build must still surface — the ThreadComm sync traffic
+        must not wash the race out."""
+        from repro.cluster.runner import run_cluster_threads
+        from repro.generators.random_graphs import gnm_random_graph
+
+        graph = gnm_random_graph(30, 80, seed=3)
+        both = threading.Barrier(2)
+
+        def rogue():
+            both.wait()
+            for _ in range(5):
+                hooks.access("cluster.seeded-defect", write=True)
+
+        rogues = [
+            threading.Thread(target=rogue, name=f"rogue-{i}")
+            for i in range(2)
+        ]
+        for t in rogues:
+            t.start()
+        run_cluster_threads(graph, 3, syncs=2)
+        for t in rogues:
+            t.join()
+        assert not sanitizer.ok
+        assert any(
+            "cluster.seeded-defect" in r.location
+            for r in sanitizer.reports
+        )
+
+
 class TestStress:
     def test_stress_threads_is_race_free(self):
         result = stress_threads(num_threads=4, repeats=1, n=80, m=240)
@@ -160,6 +203,23 @@ class TestStress:
         assert result.sanitizer.ok, result.sanitizer.render()
         # The commit path was actually exercised under tracking.
         assert result.sanitizer.access_count > 0
+
+    def test_stress_threads_cluster_flag(self):
+        result = stress_threads(
+            num_threads=2, repeats=1, n=60, m=150, cluster=True
+        )
+        assert result.builds == 3  # static + dynamic + cluster
+        assert result.sanitizer.ok, result.sanitizer.render()
+
+    def test_stress_accepts_a_vector_clock_engine(self):
+        from repro.check.vectorclock import VectorClockSanitizer
+
+        result = stress_threads(
+            num_threads=2, repeats=1, n=60, m=150,
+            sanitizer=VectorClockSanitizer(),
+        )
+        assert result.sanitizer.ok, result.sanitizer.render()
+        assert result.sanitizer.sync_events > 0
 
 
 class TestLifecycle:
@@ -203,3 +263,13 @@ class TestLifecycle:
         with lock:
             sanitizer.record_access("loc", write=True)
         assert sanitizer.ok
+
+    def test_make_lock_dedups_same_name(self, sanitizer):
+        """Two instances behind one name must stay distinguishable —
+        aliased names would let lock A 'protect' accesses under lock B
+        (and fabricate lock-order cycles in the deadlock recorder)."""
+        a = sanitizer.make_lock("oracle._cache_lock")
+        b = sanitizer.make_lock("oracle._cache_lock")
+        assert a.name == "oracle._cache_lock"
+        assert b.name == "oracle._cache_lock#2"
+        assert a.lock_id != b.lock_id

@@ -1,0 +1,288 @@
+"""Tests for the FastTrack-style vector-clock race detector."""
+
+import threading
+
+import pytest
+
+from repro.check import hooks
+from repro.check.corpus import run_race_corpus
+from repro.check.sanitizer import ENV_FLAG, LocksetSanitizer, enable_from_env
+from repro.check.vectorclock import (
+    VCTrackedLock,
+    VectorClockSanitizer,
+    get_vc_sanitizer,
+)
+from repro.errors import CheckError
+
+
+@pytest.fixture(autouse=True)
+def _isolate_sanitizer():
+    previous = hooks.get_active()
+    hooks.set_active(None)
+    yield
+    hooks.set_active(previous)
+
+
+@pytest.fixture
+def vc():
+    san = VectorClockSanitizer()
+    san.install()
+    yield san
+    if hooks.get_active() is san:
+        san.uninstall()
+
+
+def _run_named(*specs):
+    """Start+join named threads; names keep idents distinguishable."""
+    threads = [
+        threading.Thread(target=fn, name=name) for name, fn in specs
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestHappensBefore:
+    def test_unsynchronized_writes_race(self, vc):
+        gate = threading.Barrier(2)
+
+        def bump():
+            gate.wait()
+            vc.record_access("loc", write=True)
+
+        _run_named(("vc-a", bump), ("vc-b", bump))
+        assert not vc.ok
+        (report,) = vc.reports
+        assert report.location == "loc"
+        assert {report.first.thread, report.second.thread} == {
+            "vc-a", "vc-b",
+        }
+
+    def test_lock_protected_writes_are_ordered(self, vc):
+        lock = vc.make_lock("commit")
+
+        def bump():
+            for _ in range(50):
+                with lock:
+                    vc.record_access("loc", write=True)
+
+        _run_named(("vc-a", bump), ("vc-b", bump))
+        assert vc.ok, vc.render()
+
+    def test_fork_edge_orders_parent_before_child(self, vc):
+        vc.record_access("loc", write=True)
+
+        def child():
+            vc.record_access("loc", write=True)
+
+        t = threading.Thread(target=child, name="vc-child")
+        hooks.fork(t.name)
+        t.start()
+        t.join()
+        assert vc.ok, vc.render()
+
+    def test_missing_join_edge_is_a_race(self, vc):
+        done = threading.Event()
+
+        def child():
+            vc.record_access("loc", write=True)
+            done.set()
+
+        t = threading.Thread(target=child, name="vc-child")
+        hooks.fork(t.name)
+        t.start()
+        done.wait()
+        # Event ordering is real but untracked: still a race.
+        vc.record_access("loc", write=False)
+        t.join()
+        assert not vc.ok
+
+    def test_join_edge_orders_child_before_parent(self, vc):
+        def child():
+            vc.record_access("loc", write=True)
+
+        t = threading.Thread(target=child, name="vc-child")
+        hooks.fork(t.name)
+        t.start()
+        t.join()
+        hooks.join(t.name)
+        vc.record_access("loc", write=False)
+        assert vc.ok, vc.render()
+
+    def test_send_recv_token_carries_the_clock(self, vc):
+        import queue
+
+        q = queue.Queue()
+
+        def producer():
+            vc.record_access("payload", write=True)
+            q.put(hooks.send("chan"))
+
+        def consumer():
+            hooks.recv("chan", q.get())
+            vc.record_access("payload", write=True)
+
+        for name, fn in (("vc-p", producer), ("vc-c", consumer)):
+            t = threading.Thread(target=fn, name=name)
+            hooks.fork(t.name)
+            t.start()
+            t.join()
+            hooks.join(t.name)
+        assert vc.ok, vc.render()
+
+    def test_barrier_orders_rounds(self, vc):
+        gate = threading.Barrier(2)
+
+        def rank(write_first):
+            if write_first:
+                vc.record_access("slot", write=True)
+            hooks.barrier("sync", "arrive")
+            gate.wait()
+            hooks.barrier("sync", "depart")
+            if not write_first:
+                vc.record_access("slot", write=False)
+
+        _run_named(
+            ("vc-r0", lambda: rank(True)), ("vc-r1", lambda: rank(False))
+        )
+        assert vc.ok, vc.render()
+
+    def test_concurrent_reads_never_race(self, vc):
+        gate = threading.Barrier(2)
+
+        def reader():
+            gate.wait()
+            vc.record_access("loc", write=False)
+
+        _run_named(("vc-a", reader), ("vc-b", reader))
+        assert vc.ok, vc.render()
+
+    def test_one_report_per_location(self, vc):
+        gate = threading.Barrier(2)
+
+        def bump():
+            gate.wait()
+            for _ in range(20):
+                vc.record_access("loc", write=True)
+
+        _run_named(("vc-a", bump), ("vc-b", bump))
+        assert len(vc.reports) == 1
+
+    def test_raise_on_race(self):
+        with VectorClockSanitizer(raise_on_race=True) as vc:
+            gate = threading.Barrier(2)
+            boom = []
+
+            def bump():
+                gate.wait()
+                try:
+                    vc.record_access("loc", write=True)
+                except CheckError as exc:
+                    boom.append(exc)
+
+            _run_named(("vc-a", bump), ("vc-b", bump))
+            assert len(boom) == 1
+            assert "RACE on loc" in str(boom[0])
+
+
+class TestCommitOnCompletion:
+    """Proposition 1 as a happens-before fact (not a whitelist)."""
+
+    def test_real_threaded_build_is_race_free(self, vc):
+        from repro.generators.random_graphs import gnm_random_graph
+        from repro.parallel.threads import build_parallel_threads
+
+        graph = gnm_random_graph(40, 100, seed=7)
+        for policy in ("static", "dynamic"):
+            build_parallel_threads(graph, 3, policy=policy)
+        assert vc.ok, vc.render()
+        assert vc.accesses_tracked > 0
+        assert vc.sync_events > 0  # fork/join edges were exercised
+
+    def test_vc_accepts_what_lockset_would_flag(self):
+        """The corpus commit-on-completion pattern: clean under VC,
+        flagged by the lockset engine (the whole point of having both).
+        """
+        commit_pattern = "tests/corpus/races/clean_commit_on_completion.py"
+
+        def run_pattern(sanitizer):
+            import importlib.util
+
+            spec = importlib.util.spec_from_file_location(
+                "corpus_commit_pattern", commit_pattern
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            with sanitizer:
+                module.run()
+
+        vc = VectorClockSanitizer()
+        run_pattern(vc)
+        assert vc.ok, vc.render()
+
+        lockset = LocksetSanitizer()
+        run_pattern(lockset)
+        assert not lockset.ok  # over-approximation, documented
+
+
+class TestCorpus:
+    def test_race_corpus_detects_all_seeded_defects(self):
+        cases = run_race_corpus("tests/corpus/races")
+        assert len(cases) >= 4
+        failed = [c for c in cases if not c.ok]
+        assert not failed, "\n".join(
+            f"{c.path}: expected {c.expect}, got {c.got}\n{c.detail}"
+            for c in failed
+        )
+        # Both polarities are actually present in the corpus.
+        assert any(c.expect == 0 for c in cases)
+        assert any(c.expect > 0 for c in cases)
+
+
+class TestLifecycle:
+    def test_install_uninstall_and_getter(self):
+        san = VectorClockSanitizer()
+        assert get_vc_sanitizer() is None
+        san.install()
+        assert get_vc_sanitizer() is san
+        san.uninstall()
+        assert get_vc_sanitizer() is None
+
+    def test_lockset_getter_ignores_vc(self, vc):
+        from repro.check.sanitizer import get_sanitizer
+
+        assert get_sanitizer() is None
+
+    def test_double_install_rejected(self, vc):
+        with pytest.raises(CheckError):
+            LocksetSanitizer().install()
+
+    def test_enable_from_env_vc(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "vc")
+        san = enable_from_env()
+        try:
+            assert isinstance(san, VectorClockSanitizer)
+            assert enable_from_env() is san  # idempotent
+        finally:
+            san.uninstall()
+
+    def test_make_lock_dedups_names(self, vc):
+        a = vc.make_lock("commit")
+        b = vc.make_lock("commit")
+        assert isinstance(a, VCTrackedLock)
+        assert a.name == "commit"
+        assert b.name == "commit#2"
+
+    def test_wrap_store_tracks_writes(self, vc):
+        from repro.core.labels import LabelStore
+
+        store = vc.wrap_store(LabelStore(4))
+        store.add(0, 1, 2.0)
+        assert vc.accesses_tracked > 0
+        assert hooks.unwrap_store(store).hubs_of(0) == [1]
+
+    def test_render_mentions_sync_events(self, vc):
+        hooks.fork("nobody")
+        assert "sync events" in vc.render()
+        assert "0 race(s)" in vc.render()
