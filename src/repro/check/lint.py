@@ -32,7 +32,8 @@ Rule catalogue (see DESIGN.md §9 for the rationale of each):
 * **PC005 import layering** — module-level imports must respect the
   layer diagram: ``repro.core`` / ``repro.graph`` / ``repro.pq`` may
   reach :mod:`repro.obs` only via the sanctioned facades
-  (``config`` / ``instruments`` / ``trace`` / ``timers``), low layers
+  (``buildmon`` / ``bus`` / ``config`` / ``flightrec`` /
+  ``instruments`` / ``trace`` / ``timers``), low layers
   never import high layers, and runtime code may import from
   ``repro.check`` only the dependency-free :mod:`repro.check.hooks`.
 * **PC006 label internals** — the flat CSR finalized representation
@@ -690,6 +691,7 @@ class ExceptionHygieneRule(Rule):
 #: Sanctioned low-overhead observability facades importable from below.
 _OBS_FACADES = {
     "repro.obs.buildmon",
+    "repro.obs.bus",
     "repro.obs.config",
     "repro.obs.flightrec",
     "repro.obs.instruments",

@@ -15,6 +15,7 @@ Subcommands::
     parapll workload report --qlog q.jsonl                 # traffic shape
     parapll replay   --port 7777 --requests 5000           # SLO verdict
     parapll top      --port 7777                           # live status
+    parapll dash     --demo 2                              # fleet dashboard
     parapll flightrec dump --out flight.jsonl              # post-mortem ring
     parapll obs      --graph g.npz --threads 4             # observed build
     parapll bench    --experiment table4                   # = repro.bench
@@ -434,6 +435,92 @@ def _cmd_top(args: argparse.Namespace) -> int:
             if args.iterations is not None and shown >= args.iterations:
                 break
             _time.sleep(args.interval)
+    return 0
+
+
+def _dash_demo_child(
+    host: str, port: int, rank: int, dataset: str, scale: float, seed: int
+) -> None:
+    """One fleet-demo worker: a relayed, monitored threaded build."""
+    from repro import obs
+    from repro.obs import buildmon as _buildmon
+    from repro.obs.relay import RelayClient
+
+    obs.configure(tracing=True)
+    graph = load_dataset(dataset, scale=scale, seed=seed + rank)
+    client = RelayClient(host, port, rank=rank, flush_interval=0.1)
+    try:
+        monitor = _buildmon.BuildMonitor(
+            total_roots=graph.num_vertices, interval_seconds=0.1
+        )
+        with _buildmon.monitored(monitor):
+            build_parallel_threads(graph, 2, policy="dynamic")
+    finally:
+        client.close()
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.relay import Collector, render_fleet
+
+    # A private registry: the dash shows the *fleet's* merged metrics,
+    # not whatever this process recorded on its own.
+    collector = Collector(
+        args.host, args.port, registry=MetricsRegistry()
+    ).start()
+    print(
+        f"telemetry collector listening on "
+        f"{collector.host}:{collector.port}",
+        flush=True,
+    )
+    procs = []
+    if args.demo:
+        import multiprocessing as _mp
+
+        for rank in range(args.demo):
+            proc = _mp.Process(
+                target=_dash_demo_child,
+                args=(
+                    collector.host,
+                    collector.port,
+                    rank,
+                    args.dataset,
+                    args.scale,
+                    args.seed,
+                ),
+            )
+            proc.start()
+            procs.append(proc)
+    iterations = 1 if args.once else args.iterations
+    shown = 0
+    try:
+        while True:
+            if not (args.no_clear or args.once):
+                print("\x1b[2J\x1b[H", end="")
+            print(render_fleet(collector), flush=True)
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                break
+            if procs and not any(p.is_alive() for p in procs):
+                # The demo fleet finished: show the final state and stop.
+                _time.sleep(args.interval)
+                print(render_fleet(collector), flush=True)
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        for proc in procs:
+            proc.join(timeout=60.0)
+        if args.trace_out:
+            count = collector.write_chrome_trace(args.trace_out)
+            print(
+                f"wrote {count} stitched fleet trace events to "
+                f"{args.trace_out}"
+            )
+        collector.close()
     return 0
 
 
@@ -1221,6 +1308,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append frames instead of clearing the terminal",
     )
     tp.set_defaults(func=_cmd_top)
+
+    dsh = sub.add_parser(
+        "dash",
+        help="live fleet dashboard: merge relayed telemetry from worker "
+        "processes (see repro.obs.relay)",
+    )
+    dsh.add_argument("--host", default="127.0.0.1")
+    dsh.add_argument(
+        "--port", type=int, default=0,
+        help="collector listen port (0 = ephemeral, printed at start)",
+    )
+    dsh.add_argument("--interval", type=float, default=1.0)
+    dsh.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N refreshes (default: run until interrupted "
+        "or, with --demo, until the demo fleet finishes)",
+    )
+    dsh.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (works without a TTY)",
+    )
+    dsh.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the terminal",
+    )
+    dsh.add_argument(
+        "--demo", type=int, default=0, metavar="N",
+        help="fork N demo build workers that relay into this dash",
+    )
+    dsh.add_argument(
+        "--dataset", choices=dataset_names(), default="Gnutella",
+        help="demo workers' stand-in dataset",
+    )
+    dsh.add_argument("--scale", type=float, default=0.05)
+    dsh.add_argument("--seed", type=int, default=42)
+    dsh.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the stitched fleet Chrome trace to FILE on exit",
+    )
+    dsh.set_defaults(func=_cmd_dash)
 
     fr = sub.add_parser(
         "flightrec", help="flight recorder: dump the last-N event ring"

@@ -44,6 +44,13 @@ the TCP serving layer all feed one process-wide metrics registry and
 * :mod:`repro.obs.workload` — workload characterization from a qlog:
   Zipf skew fit, hot vertices/pairs, simulated LRU hit-rate curve
   (``parapll-workload/1``).
+* :mod:`repro.obs.bus` / :mod:`repro.obs.relay` — the cross-process
+  telemetry plane (``parapll-telemetry/1``): a bounded non-blocking
+  event bus in every worker process, a socket relay with periodic and
+  at-exit flushes, and a parent-side collector that merges metrics
+  (counters sum, gauges LWW tagged by source, histograms bucket-merge)
+  and stitches spans/flightrec events into one fleet-wide Chrome trace
+  — the sensor layer behind ``parapll dash``.
 
 Metrics are default-on (cheap counter bumps); tracing is opt-in::
 
@@ -69,6 +76,12 @@ from repro.obs.buildmon import (
     BuildMonitor,
     monitored,
     report_root,
+)
+from repro.obs.bus import (
+    TELEMETRY_SCHEMA,
+    MetricsDelta,
+    TelemetryBus,
+    publish_event,
 )
 from repro.obs.config import ObsConfig, configure, current_config
 from repro.obs.context import (
@@ -104,8 +117,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     ObsError,
     get_registry,
+    histogram_bucket_counts,
     histogram_quantile,
+    merge_histogram_snapshot,
 )
+from repro.obs.relay import Collector, RelayClient, render_fleet
 from repro.obs.timeline import (
     CriticalPathReport,
     analyze_critical_path,
@@ -198,6 +214,15 @@ __all__ = [
     "WORKLOAD_SCHEMA",
     "characterize",
     "render_workload",
+    "TELEMETRY_SCHEMA",
+    "TelemetryBus",
+    "MetricsDelta",
+    "publish_event",
+    "RelayClient",
+    "Collector",
+    "render_fleet",
+    "histogram_bucket_counts",
+    "merge_histogram_snapshot",
     "reset",
 ]
 

@@ -425,10 +425,21 @@ class BuildMonitor:
 # ----------------------------------------------------------------------
 _active: Optional[BuildMonitor] = None
 
+#: The most recently *finished* monitor (set by :func:`monitored` on
+#: exit).  Late observers — the telemetry relay's periodic flush, which
+#: can miss a sub-interval build entirely — read this to ship the final
+#: progress snapshot after the monitored scope has already closed.
+_last_finished: Optional[BuildMonitor] = None
+
 
 def active() -> Optional[BuildMonitor]:
     """The currently installed monitor, or ``None``."""
     return _active
+
+
+def last_finished() -> Optional[BuildMonitor]:
+    """The most recently finished :func:`monitored` monitor, if any."""
+    return _last_finished
 
 
 def install(monitor: BuildMonitor) -> BuildMonitor:
@@ -451,7 +462,7 @@ def monitored(monitor: BuildMonitor) -> Iterator[BuildMonitor]:
     The previously installed monitor (if any) is restored on exit, so
     nested scopes compose.
     """
-    global _active
+    global _active, _last_finished
     previous = _active
     _active = monitor
     try:
@@ -459,6 +470,7 @@ def monitored(monitor: BuildMonitor) -> Iterator[BuildMonitor]:
     finally:
         _active = previous
         monitor.finish()
+        _last_finished = monitor
 
 
 def report_root(

@@ -315,6 +315,29 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
                 )
             )
 
+    frames = _labeled_series(snap, "parapll_telemetry_frames_total")
+    if frames:
+        # Telemetry-plane health: one line per relay source (frames
+        # received, frames dropped at the source's bounded bus, max
+        # queue lag the source ever saw at drain time).
+        lines.append("telemetry:")
+        for series in sorted(
+            frames, key=lambda s: s["labels"].get("source", "")
+        ):
+            source = series["labels"].get("source", "?")
+            dropped = _series_value(
+                snap, "parapll_telemetry_dropped_total", {"source": source}
+            )
+            lag = _series_value(
+                snap,
+                "parapll_telemetry_queue_lag_seconds",
+                {"source": source},
+            )
+            lines.append(
+                f"  {source:<16} frames {int(float(series['value']))}, "
+                f"dropped {int(dropped)}, max queue lag {lag:.3f}s"
+            )
+
     if len(lines) == 2:
         lines.append("(no metrics recorded)")
     return "\n".join(lines)

@@ -192,6 +192,25 @@ SLO_BREACHES = _REG.counter(
     labels=("target",),
 )
 
+# ----------------------------------------------------------------------
+# Telemetry relay (cross-process plane; see repro.obs.relay)
+# ----------------------------------------------------------------------
+TELEMETRY_FRAMES = _REG.counter(
+    "parapll_telemetry_frames_total",
+    "Telemetry frames received per relay source",
+    labels=("source",),
+)
+TELEMETRY_DROPPED = _REG.counter(
+    "parapll_telemetry_dropped_total",
+    "Frames dropped at the source's bounded bus, per relay source",
+    labels=("source",),
+)
+TELEMETRY_LAG = _REG.gauge(
+    "parapll_telemetry_queue_lag_seconds",
+    "Max bus queue lag observed at the source, seconds",
+    labels=("source",),
+)
+
 #: Ops the server reports individually; anything else is folded into
 #: "unknown" so hostile clients cannot blow up label cardinality.
 KNOWN_SERVICE_OPS = frozenset(

@@ -33,6 +33,8 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "histogram_quantile",
+    "histogram_bucket_counts",
+    "merge_histogram_snapshot",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_QUANTILES",
 ]
@@ -95,6 +97,65 @@ def histogram_quantile(snapshot: Dict[str, object], q: float) -> float:
             prev_bound = float(bound)
         prev_cum = cum
     return prev_bound
+
+
+def histogram_bucket_counts(snapshot: Dict[str, object]) -> List[int]:
+    """Per-bucket (non-cumulative) counts of a histogram snapshot.
+
+    The inverse of the cumulative ``buckets`` encoding: element ``i``
+    is the number of observations that landed in bucket ``i`` (the
+    last element is the ``+Inf`` bucket).
+    """
+    out: List[int] = []
+    prev = 0
+    for _bound, cumulative in snapshot["buckets"]:  # type: ignore[union-attr]
+        cum = int(cumulative)
+        out.append(cum - prev)
+        prev = cum
+    return out
+
+
+def merge_histogram_snapshot(
+    target: "Histogram" | "_HistogramSeries", snapshot: Dict[str, object]
+) -> None:
+    """Merge a histogram snapshot (or delta) into *target*, in place.
+
+    This is the collector's histogram-merge primitive: adding the
+    snapshot's per-bucket counts, sum and count to the target series is
+    exactly equivalent to having observed the snapshot's underlying
+    stream on the target directly — counts, sums and bucket contents
+    (including ``+Inf``) are exact, and quantile estimates agree to
+    bucket resolution by construction.  The property tests in
+    ``tests/test_telemetry.py`` pin this equivalence.
+
+    Args:
+        target: a :class:`Histogram` (its unlabeled series) or one
+            labeled ``_HistogramSeries`` obtained via ``.labels()``.
+        snapshot: a ``value()`` dict — cumulative ``buckets`` with the
+            trailing ``"+Inf"`` bound, plus ``sum`` and ``count``.
+
+    Raises:
+        ObsError: when the bucket bounds disagree — merging across
+            different bucket layouts silently mis-bins, so it is
+            refused outright.
+    """
+    series = target._default() if isinstance(target, Histogram) else target
+    bounds = tuple(
+        float(b)
+        for b, _c in snapshot["buckets"]  # type: ignore[union-attr]
+        if b != "+Inf"
+    )
+    if bounds != series._bounds:
+        raise ObsError(
+            f"cannot merge histogram snapshots with different buckets: "
+            f"{bounds} vs {series._bounds}"
+        )
+    counts = histogram_bucket_counts(snapshot)
+    with series._lock:
+        for i, c in enumerate(counts):
+            series._counts[i] += c
+        series._sum += float(snapshot["sum"])  # type: ignore[arg-type]
+        series._count += int(snapshot["count"])  # type: ignore[arg-type]
 
 
 class _Series:

@@ -21,7 +21,8 @@ Three metric kinds, with different noise characteristics:
 The workload set covers every execution mode: serial build, threaded
 build at p ∈ {1, 4}, simulated build, cluster build with one sync, a
 query batch, a TCP server round-trip, a seeded closed-loop traffic
-replay with an SLO verdict, and the qlog/SLO hot-path overhead gate.
+replay with an SLO verdict, and the qlog/SLO and telemetry-relay
+hot-path overhead gates.
 """
 
 from __future__ import annotations
@@ -802,6 +803,151 @@ def _wl_check_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def _wl_telemetry_overhead(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """The telemetry relay must cost the threaded build <5%.
+
+    Same direct-measurement reasoning as the other overhead gates: a 5%
+    bound cannot be asserted by differencing two whole-build walls
+    under ±10% run noise.  Per committed root the relay adds exactly
+    one :func:`repro.obs.bus.publish_event` call on the worker thread
+    (a global load, a dict build and a deque append — the delta
+    collection, span scan and socket write all ride the flush thread),
+    so the hooks' added work is timed directly — the build's observed
+    event count replayed against an installed bus, min-of-3 — and
+    divided by the plain build wall.  ``overhead_within_gate`` (exact
+    counter) fails the comparison outright if that fraction exceeds
+    0.05.
+
+    The end-to-end leg builds once with the full plane live — in-process
+    :class:`~repro.obs.relay.Collector` on a *private* registry (merging
+    into the registry the client diffs would re-ship every merged
+    increment forever), relay client on the process registry, bus sized
+    to the build so backpressure, not capacity, is under test — and
+    pins the merge exact: the collector's merged
+    ``parapll_build_roots_total`` must equal the source registry's own
+    cumulative total (shipped deltas always sum to the source's truth —
+    see :class:`repro.obs.bus.MetricsDelta`), with zero drops, zero
+    malformed frames and zero merge errors.  When no bus is installed the producers must dispatch to
+    nothing: ``bus_active_when_off`` pins the off-path to an exact
+    zero.
+    """
+    import gc
+
+    from repro.obs import bus as _bus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.relay import Collector, RelayClient
+    from repro.parallel.threads import build_parallel_threads
+
+    n = ctx.graph.num_vertices
+
+    def plain_wall() -> float:
+        t0 = time.perf_counter()
+        build_parallel_threads(ctx.graph, 4, policy="dynamic")
+        return time.perf_counter() - t0
+
+    # Same GC discipline as check_overhead: automatic gen2 passes over
+    # the suite's accumulated heap would dominate the measured fraction.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        bus_active = 1.0 if _bus.active() is not None else 0.0
+        plain = min(plain_wall() for _ in range(3))
+
+        # End-to-end: one build with the relay plane fully live.
+        collector = Collector(
+            "127.0.0.1", 0, registry=MetricsRegistry()
+        ).start()
+        try:
+            client = RelayClient(
+                collector.host,
+                collector.port,
+                rank=0,
+                bus=_bus.TelemetryBus(capacity=4 * n + 1024),
+                flush_interval=0.05,
+            )
+            try:
+                t0 = time.perf_counter()
+                build_parallel_threads(ctx.graph, 4, policy="dynamic")
+                relayed = time.perf_counter() - t0
+            finally:
+                client.close()
+            # close() flushed synchronously; wait for the collector's
+            # reader thread to drain the socket and see EOF.
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                stats = collector.stats()
+                sources = stats["sources"]
+                if sources and not any(
+                    s["connected"] for s in sources.values()
+                ):
+                    break
+                time.sleep(0.01)
+            stats = collector.stats()
+            expected_roots = _counter_value("parapll_build_roots_total")
+            merged_roots = 0.0
+            for metric in collector.registry.snapshot():
+                if metric["name"] == "parapll_build_roots_total":
+                    merged_roots = sum(
+                        float(s["value"]) for s in metric["series"]
+                    )
+            event_frames = sum(
+                src["by_kind"].get("events", 0)
+                for src in stats["sources"].values()
+            )
+        finally:
+            collector.close()
+
+        # The hooks' added work: the exact per-root producer cost, the
+        # observed number of times, against an installed bus.
+        def hook_wall() -> float:
+            bus = _bus.TelemetryBus(capacity=n + 16)
+            _bus.install(bus)
+            try:
+                t0 = time.perf_counter()
+                for root in range(n):
+                    _bus.publish_event(
+                        "root_commit", worker=0, root=root, labels=8
+                    )
+                return time.perf_counter() - t0
+            finally:
+                _bus.uninstall()
+
+        hook = min(hook_wall() for _ in range(3))
+        fraction = hook / plain
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    return {
+        "plain_build_seconds": _metric(plain, "time", "s"),
+        "relay_build_seconds": _metric(relayed, "time", "s"),
+        # End-to-end wall ratio, informational only (see docstring).
+        "relay_overhead_ratio": _metric(relayed / plain, "time", "x", tol=0.5),
+        "relay_hook_fraction": _metric(fraction, "time", "x", tol=1.0),
+        # The hard gate: exact counter, 1.0 iff overhead <= 5%.
+        "overhead_within_gate": _metric(
+            1.0 if fraction <= 0.05 else 0.0, "counter", "bool"
+        ),
+        # Merge exactness: the collector's merged counter equals the
+        # source registry's cumulative total, and every root committed
+        # with the bus installed arrived as one event frame.
+        "merge_exact": _metric(
+            1.0 if merged_roots == expected_roots else 0.0,
+            "counter",
+            "bool",
+        ),
+        "event_frames": _metric(float(event_frames), "counter", "frames"),
+        "relay_drops": _metric(float(stats["dropped"]), "counter", "frames"),
+        "malformed_frames": _metric(
+            float(stats["malformed"]), "counter", "frames"
+        ),
+        "merge_errors": _metric(
+            float(stats["merge_errors"]), "counter", "errors"
+        ),
+        "bus_active_when_off": _metric(bus_active, "counter", "bool"),
+    }
+
+
 def default_workloads() -> List[Workload]:
     """The standard PerfSuite (one Workload per execution mode)."""
     return [
@@ -819,6 +965,7 @@ def default_workloads() -> List[Workload]:
         Workload("serve_replay", _wl_serve_replay),
         Workload("qlog_overhead", _wl_qlog_overhead),
         Workload("check_overhead", _wl_check_overhead),
+        Workload("telemetry_overhead", _wl_telemetry_overhead),
     ]
 
 

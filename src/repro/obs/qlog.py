@@ -12,9 +12,14 @@ durable capture.
 
 One record per sampled query::
 
-    {"seq", "ts", "op", "s", "t", "latency_us", "cache_hit",
+    {"seq", "ts", "mono", "op", "s", "t", "latency_us", "cache_hit",
      "entries_scanned", "outcome", "req_id"}
 
+* ``ts`` / ``mono`` — wall-clock and monotonic capture times.  ``ts``
+  is the *event timestamp* (when did this query happen, for humans and
+  cross-host correlation); any **interval** computed between records
+  (inter-arrival gaps, replay pacing) must use ``mono``, which a
+  stepped wall clock cannot corrupt.
 * ``op`` — ``"distance"`` for point lookups, ``"batch"`` for pairs
   served inside a batch request.
 * ``latency_us`` — service time in microseconds (for vectorised batch
@@ -76,6 +81,7 @@ DEFAULT_CAPACITY = 65536
 RECORD_FIELDS = (
     "seq",
     "ts",
+    "mono",
     "op",
     "s",
     "t",
@@ -171,6 +177,7 @@ class QueryLogRecorder:
         rec = {
             "seq": next(self._seq),
             "ts": time.time(),
+            "mono": time.monotonic(),
             "op": op,
             "s": int(s),
             "t": int(t),

@@ -22,7 +22,7 @@ def load_example(name):
 @pytest.mark.parametrize(
     "name",
     ["quickstart", "social_search", "road_routing", "cluster_sync",
-     "scaling_study"],
+     "scaling_study", "fleet_telemetry"],
 )
 def test_example_imports(name):
     mod = load_example(name)
