@@ -89,10 +89,23 @@ def _cmd_index(args: argparse.Namespace) -> int:
             total_roots=graph.num_vertices, sink=sink
         )
         scope = _buildmon.monitored(monitor)
+    backend = args.backend
+    if backend == "auto":
+        backend = "threads" if args.threads > 1 else "serial"
     with scope:
-        if args.threads > 1:
+        if backend == "procs":
+            from repro.parallel.procs import build_parallel_procs
+
+            index = build_parallel_procs(
+                graph,
+                max(args.threads, 1),
+                policy=args.policy,
+                engine=args.engine,
+            )
+        elif backend == "threads":
             index = build_parallel_threads(
-                graph, args.threads, policy=args.policy, engine=args.engine
+                graph, max(args.threads, 1), policy=args.policy,
+                engine=args.engine,
             )
         elif args.engine == "bfs":
             from repro.core.pruned_bfs import build_serial_bfs
@@ -1029,6 +1042,14 @@ def _build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("index", help="build a PLL distance index")
     i.add_argument("--graph", required=True)
     i.add_argument("--threads", type=int, default=1)
+    i.add_argument(
+        "--backend",
+        choices=("auto", "serial", "threads", "procs"),
+        default="auto",
+        help="auto = serial for --threads 1, threads otherwise; "
+        "procs = worker processes over shared memory (real cores); "
+        "worker count comes from --threads",
+    )
     i.add_argument("--policy", choices=("static", "dynamic"), default="dynamic")
     i.add_argument(
         "--engine",

@@ -86,6 +86,41 @@ class PLLIndex:
         )
         return cls(store, order, graph=graph, stats=stats)
 
+    @classmethod
+    def build_parallel(
+        cls,
+        graph: CSRGraph,
+        num_workers: int,
+        backend: str = "threads",
+        **kwargs,
+    ) -> "PLLIndex":
+        """Build with one of the parallel backends.
+
+        Args:
+            graph: the graph to index.
+            num_workers: worker count ``p``.
+            backend: ``"threads"`` (GIL-bound, correctness story) or
+                ``"procs"`` (shared-memory processes, real-core
+                speedup).
+            **kwargs: forwarded to the backend builder (``policy``,
+                ``order``, ``chunk``, ``engine``, ...).
+
+        Raises:
+            GraphError: for unknown backend names.
+        """
+        if backend == "threads":
+            from repro.parallel.threads import build_parallel_threads
+
+            return build_parallel_threads(graph, num_workers, **kwargs)
+        if backend == "procs":
+            from repro.parallel.procs import build_parallel_procs
+
+            return build_parallel_procs(graph, num_workers, **kwargs)
+        raise GraphError(
+            f"unknown parallel backend {backend!r} "
+            "(expected 'threads' or 'procs')"
+        )
+
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------

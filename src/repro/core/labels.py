@@ -59,10 +59,11 @@ def _sort_dedup_flat(
     for v in range(n):
         k = int(sizes[v])
         if k:
-            hubs[pos:pos + k] = hub_lists[v]
             # The lock-free writer appends the distance before the hub,
-            # so the dist list may momentarily run one entry long; the
-            # first k entries are the committed ones.
+            # so either list may momentarily run one entry long relative
+            # to the committed length captured in ``sizes``; the first k
+            # entries of both are the committed ones.
+            hubs[pos:pos + k] = hub_lists[v][:k]
             dists[pos:pos + k] = dist_lists[v][:k]
             pos += k
     owner = np.repeat(np.arange(n, dtype=np.int64), sizes)
@@ -221,6 +222,33 @@ class LabelStore:
         for v, h, d in delta:
             dists[v].append(d)
             hubs[v].append(h)
+            count += 1
+        if count:
+            self._invalidate()
+        return count
+
+    def extend_from_arrays(
+        self,
+        verts: Sequence[int],
+        hub_ranks: Sequence[int],
+        dists: Sequence[float],
+    ) -> int:
+        """Bulk-append parallel ``verts/hub_ranks/dists`` arrays.
+
+        The array-triple twin of :meth:`add_delta`, used to sync a
+        process-local mirror from the shared committed-label log (see
+        :mod:`repro.parallel.shm`) without materialising tuples.
+        Duplicate (v, hub) pairs are tolerated exactly as in
+        :meth:`add_delta`.  Returns the number of entries appended.
+        """
+        if self._hubs is None:
+            self._thaw()
+        hubs_l, dists_l = self._hubs, self._dists
+        count = 0
+        for v, h, d in zip(verts, hub_ranks, dists):
+            v = int(v)
+            dists_l[v].append(float(d))
+            hubs_l[v].append(int(h))
             count += 1
         if count:
             self._invalidate()

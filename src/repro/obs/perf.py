@@ -189,6 +189,49 @@ def _wl_thread_build(p: int):
     return run
 
 
+def _wl_multicore_build(ctx: PerfContext) -> Dict[str, Dict[str, Any]]:
+    """Serial vs. 4-process shared-memory build on the perf graph.
+
+    The wall clocks and the derived speedup are kind ``time`` (machine-
+    dependent: the speedup only materialises with >= 4 real cores, so
+    CI compares with ``--ignore-kinds time``); the gating metrics are
+    the deterministic ones — every root committed exactly once and the
+    procs index answering a query sample identically to serial.
+    """
+    import numpy as np
+
+    from repro.core.index import PLLIndex
+    from repro.parallel.procs import build_parallel_procs
+
+    t0 = time.perf_counter()
+    serial = PLLIndex.build(ctx.graph)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    procs = build_parallel_procs(ctx.graph, 4, policy="dynamic")
+    procs_wall = time.perf_counter() - t0
+    rng = np.random.default_rng(ctx.seed)
+    n = ctx.graph.num_vertices
+    pairs = rng.integers(0, n, size=(256, 2))
+    exact = bool(
+        np.allclose(
+            serial.distance_batch(pairs),
+            procs.distance_batch(pairs),
+            equal_nan=True,
+        )
+    )
+    return {
+        "serial_wall_seconds": _metric(serial_wall, "time", "s"),
+        "procs_wall_seconds": _metric(procs_wall, "time", "s"),
+        "speedup_x": _metric(
+            serial_wall / procs_wall if procs_wall else 0.0, "time", "x"
+        ),
+        "roots_committed": _metric(
+            _counter_value("parapll_worker_roots_total"), "counter", "roots"
+        ),
+        "query_exact": _metric(1.0 if exact else 0.0, "counter", "bool"),
+    }
+
+
 def _run_sim(ctx: PerfContext):
     from repro.sim.executor import simulate_intra_node
 
@@ -954,6 +997,7 @@ def default_workloads() -> List[Workload]:
         Workload("serial_build", _wl_serial_build),
         Workload("thread_build_p1", _wl_thread_build(1)),
         Workload("thread_build_p4", _wl_thread_build(4)),
+        Workload("build_multicore", _wl_multicore_build),
         Workload("sim_build_p4", _wl_sim_build, timeline=_wl_sim_build_timeline),
         Workload("cluster_build_q2c1", _wl_cluster_build),
         Workload("query_batch", _wl_query_batch),

@@ -1,15 +1,20 @@
-"""Intra-node ParaPLL: task assignment policies and the thread pool.
+"""Intra-node ParaPLL: task assignment policies and the worker pools.
 
 * :mod:`repro.parallel.task_manager` — the paper's task manager with
   **static** (round-robin pre-assignment, §4.3) and **dynamic** (shared
   work queue, §4.4 / Algorithm 2) policies.
 * :mod:`repro.parallel.threads` — a real ``threading``-based ParaPLL.
   Because of CPython's GIL this demonstrates *correctness* of the
-  concurrent design, not wall-clock speedup; the speedup experiments run
-  on the deterministic simulator in :mod:`repro.sim`, which shares the
-  same task-manager code.
+  concurrent design, not wall-clock speedup.
+* :mod:`repro.parallel.procs` — process workers over
+  ``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`): the
+  GIL-free backend that turns the paper's speedup claims into
+  wall-clock numbers on real cores.
+* :mod:`repro.sim` (elsewhere) shares the same task-manager code for
+  deterministic speedup experiments.
 """
 
+from repro.parallel.procs import build_parallel_procs
 from repro.parallel.task_manager import (
     DynamicAssignment,
     StaticAssignment,
@@ -24,4 +29,5 @@ __all__ = [
     "DynamicAssignment",
     "make_assignment",
     "build_parallel_threads",
+    "build_parallel_procs",
 ]

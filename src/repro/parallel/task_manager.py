@@ -128,16 +128,22 @@ class DynamicAssignment:
         self._next = 0
         self._lock = _check_hooks.make_lock("DynamicAssignment._lock")
         self._san_loc = f"DynamicAssignment#{id(self)}._next"
-        self._buffers: dict[int, List[int]] = {}
+        # Per-worker chunk buffers as (tasks, cursor) pairs: an index
+        # cursor makes draining a chunk O(chunk) total instead of the
+        # O(chunk^2) of repeated ``list.pop(0)`` front-shifts.
+        self._buffers: dict[int, List] = {}
         self._dispatched = TASKS_DISPATCHED.labels(policy="dynamic")
 
     def next_task(self, worker: int) -> Optional[int]:
         """Take the highest-ranked unindexed vertex (``None`` when done)."""
         buffer = self._buffers.get(worker)
-        if buffer:
+        if buffer is not None and buffer[1] < len(buffer[0]):
+            task = buffer[0][buffer[1]]
+            with self._lock:
+                buffer[1] += 1
             if _obs_config.METRICS:
                 self._dispatched.inc()
-            return buffer.pop(0)
+            return task
         with self._lock:
             _check_hooks.access(self._san_loc, write=True)
             if self._next >= len(self._order):
@@ -145,18 +151,27 @@ class DynamicAssignment:
             lo = self._next
             hi = min(lo + self.chunk, len(self._order))
             self._next = hi
-        taken = self._order[lo:hi]
-        if len(taken) > 1:
-            self._buffers[worker] = taken[1:]
+            taken = self._order[lo:hi]
+            # Cursor 1: the first task of the chunk is handed out now.
+            self._buffers[worker] = [taken, 1]
         if _obs_config.METRICS:
             self._dispatched.inc()
         return taken[0]
 
     def remaining(self) -> int:
-        """Tasks still in the shared queue (excluding worker buffers)."""
+        """Tasks not yet *processed*: shared queue plus worker buffers.
+
+        Buffered-but-unprocessed chunk tasks count as remaining, so
+        monitors' ETAs no longer jump by up to ``chunk * workers``
+        roots the moment chunks are grabbed.
+        """
         with self._lock:
             _check_hooks.access(self._san_loc, write=False)
-            return len(self._order) - self._next
+            buffered = sum(
+                len(tasks) - cursor
+                for tasks, cursor in self._buffers.values()
+            )
+            return len(self._order) - self._next + buffered
 
 
 def make_assignment(

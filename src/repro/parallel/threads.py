@@ -93,6 +93,10 @@ def build_parallel_threads(
     store = _check_hooks.wrap_store(LabelStore(graph.num_vertices))
     commit_lock = _check_hooks.make_lock("parapll.commit_lock")
     errors: List[WorkerFailure] = []
+    # Fail-fast cancellation: the first failing worker sets this flag
+    # and every surviving worker stops at its next task grab instead of
+    # indexing the entire remaining root set before the error surfaces.
+    stop = threading.Event()
 
     def worker(worker_id: int) -> None:
         from repro.core.engines import make_engine
@@ -106,7 +110,7 @@ def build_parallel_threads(
         perf = time.perf_counter
         root: Optional[int] = None
         try:
-            while True:
+            while not stop.is_set():
                 root = None
                 t_ask = perf()
                 root = assignment.next_task(worker_id)
@@ -164,6 +168,7 @@ def build_parallel_threads(
                     _inst.COMMIT_LOCK_WAIT.inc(t_acq - t_req)
                     _inst.COMMIT_LOCK_HOLD.inc(t_rel - t_acq)
         except BaseException as exc:  # surfaced to the caller below
+            stop.set()
             _flightrec.record(
                 "worker_failure",
                 worker=worker_id,

@@ -288,3 +288,71 @@ class TestEquality:
 
     def test_other_type(self):
         assert LabelStore(1).__eq__("x") is NotImplemented
+
+
+class TestTornAppendFinalize:
+    """Regression: finalize during a concurrent lock-free append.
+
+    ``_sort_dedup_flat`` snapshots per-vertex sizes first and copies the
+    lists after; a commit landing between the two leaves both lists one
+    entry longer than the snapshot.  The committed prefix must be used
+    for *both* arrays — the hub list used to be copied unsliced, which
+    raised a numpy broadcast error instead of honoring the documented
+    commit protocol.
+    """
+
+    class _RacyLists:
+        """Per-vertex lists that grow between the size snapshot and the
+        copy, like a concurrent ``add()`` landing mid-finalize: the
+        size-snapshot iteration sees the committed lists, later indexed
+        reads see one extra entry."""
+
+        def __init__(self, committed, extra):
+            self._committed = committed
+            self._extra = extra
+
+        def __len__(self):
+            return len(self._committed)
+
+        def __iter__(self):  # the sizes snapshot path
+            return iter(self._committed)
+
+        def __getitem__(self, v):  # the copy path, after the "append"
+            return self._committed[v] + self._extra[v]
+
+    def test_torn_append_commits_prefix_only(self):
+        from repro.core.labels import _sort_dedup_flat
+
+        hub_lists = self._RacyLists(
+            committed=[[0], [1]], extra=[[2], []]
+        )
+        dist_lists = self._RacyLists(
+            committed=[[1.0], [2.0]], extra=[[9.0], []]
+        )
+        indptr, hubs, dists = _sort_dedup_flat(2, hub_lists, dist_lists)
+        # Only the committed prefix is finalized; the in-flight entry
+        # (hub 2, 9.0) is not torn into the output.
+        assert indptr.tolist() == [0, 1, 2]
+        assert hubs.tolist() == [0, 1]
+        assert dists.tolist() == [1.0, 2.0]
+
+
+class TestExtendFromArrays:
+    def test_bulk_append_matches_add_delta(self):
+        a = LabelStore(4)
+        a.add_delta([(0, 1, 1.5), (2, 0, 2.5), (0, 3, 3.5)])
+        b = LabelStore(4)
+        b.extend_from_arrays(
+            np.array([0, 2, 0], dtype=np.int64),
+            np.array([1, 0, 3], dtype=np.int64),
+            np.array([1.5, 2.5, 3.5]),
+        )
+        assert b == a
+        assert b.total_entries == 3
+
+    def test_thaws_frozen_store(self):
+        a = LabelStore(2)
+        a.add(0, 0, 1.0)
+        frozen = LabelStore.from_arrays(**a.to_arrays())
+        assert frozen.extend_from_arrays([1], [1], [2.0]) == 1
+        assert frozen.label_size(1) == 1

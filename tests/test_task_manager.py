@@ -74,9 +74,10 @@ class TestDynamic:
 
     def test_chunked_grabs(self):
         a = DynamicAssignment(list(range(6)), 2, chunk=3)
-        # Worker 0 takes 0 and buffers 1,2.
+        # Worker 0 takes 0 and buffers 1,2 — which still count as
+        # remaining (unprocessed) work.
         assert a.next_task(0) == 0
-        assert a.remaining() == 3
+        assert a.remaining() == 5
         assert a.next_task(1) == 3
         assert a.next_task(0) == 1
         assert a.next_task(0) == 2
@@ -123,11 +124,13 @@ class TestDynamicEdgeCases:
         """A grab near the end takes whatever is left, never overshoots."""
         a = DynamicAssignment([1, 2, 3], 2, chunk=10)
         assert a.next_task(0) == 1
-        assert a.remaining() == 0  # the whole tail moved to 0's buffer
+        # The tail moved to 0's buffer but is still unprocessed work.
+        assert a.remaining() == 2
         assert a.next_task(1) is None
         assert a.next_task(0) == 2
         assert a.next_task(0) == 3
         assert a.next_task(0) is None
+        assert a.remaining() == 0
 
     def test_negative_chunk_rejected(self):
         with pytest.raises(TaskError):
@@ -148,11 +151,27 @@ class TestDynamicEdgeCases:
                 assert a.next_task(w) is None
         assert a.remaining() == 0
 
-    def test_remaining_excludes_buffered(self):
+    def test_remaining_counts_buffered(self):
+        """Buffered-but-unprocessed chunk tasks count toward remaining().
+
+        Previously a chunk grab made remaining() drop by the whole
+        chunk at once, so monitor ETAs jumped by up to chunk * workers
+        roots; now remaining() tracks processed work one task at a
+        time.
+        """
         a = DynamicAssignment(list(range(10)), 2, chunk=4)
         assert a.remaining() == 10
         a.next_task(0)  # takes 4: one returned, three buffered
-        assert a.remaining() == 6
+        assert a.remaining() == 9
+        a.next_task(0)  # from the buffer
+        assert a.remaining() == 8
+        a.next_task(1)  # fresh grab of 4 by the other worker
+        assert a.remaining() == 7
+
+    def test_chunked_drain_is_linear_fifo(self):
+        """Index-cursor buffers preserve FIFO order within a chunk."""
+        a = DynamicAssignment(list(range(8)), 1, chunk=8)
+        assert [a.next_task(0) for _ in range(9)] == list(range(8)) + [None]
 
     def test_concurrent_uniqueness_chunked(self):
         """Chunked grabs from real threads still hand each root out once."""

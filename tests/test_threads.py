@@ -77,3 +77,44 @@ def test_larger_graph_many_threads():
     truth = dijkstra_sssp(g, 0)
     for t in range(g.num_vertices):
         assert index.distance(0, t) == truth[t]
+
+
+def test_poisoned_root_fails_fast(random_graph, monkeypatch):
+    """The first failure sets the shared stop flag: survivors abort at
+    their next task grab instead of indexing the whole remaining root
+    set before the error surfaces."""
+    from repro.core import engines
+
+    n = random_graph.num_vertices
+    attempts = []  # list.append is atomic under the GIL
+    real = engines.make_engine
+
+    class _Poisoned:
+        def __init__(self, inner, poison):
+            self._inner = inner
+            self._poison = poison
+
+        def run(self, root, store, stats=None):
+            attempts.append(root)
+            if root == self._poison:
+                raise ValueError(f"poisoned root {root}")
+            if stats is None:
+                return self._inner.run(root, store)
+            return self._inner.run(root, store, stats)
+
+        def rank_of(self, v):
+            return self._inner.rank_of(v)
+
+    def patched(kind, graph, order, **kwargs):
+        poison = int(list(order)[4])
+        return _Poisoned(real(kind, graph, order, **kwargs), poison)
+
+    monkeypatch.setattr(engines, "make_engine", patched)
+    with pytest.raises(ValueError, match="poisoned root") as excinfo:
+        build_parallel_threads(random_graph, 4, policy="dynamic")
+    assert isinstance(excinfo.value.__cause__, TaskError)
+    # Poison at index 4: the roots before it, the poison itself, and at
+    # most ~one in-flight root per surviving worker — far below the n
+    # an un-cancelled build would burn through.
+    assert len(attempts) <= 4 + 1 + 3 * 4
+    assert len(attempts) < n // 2
